@@ -1,0 +1,60 @@
+// Command geninstance generates synthetic moldable workloads as JSON.
+//
+// Usage:
+//
+//	geninstance -n 50 -m 1024 -seed 7 > instance.json
+//	geninstance -planted -m 64 -d 100 -n 30 > planted.json   # OPT = d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/moldable"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 20, "number of jobs")
+		m       = flag.Int("m", 64, "number of processors")
+		seed    = flag.Uint64("seed", 1, "PRNG seed")
+		planted = flag.Bool("planted", false, "planted-optimum instance (perfect-speedup jobs)")
+		d       = flag.Float64("d", 100, "planted optimal makespan")
+		preset  = flag.String("preset", "", "workload preset: mixed|capability|capacity|amdahl|embarrassing|serialfarm")
+		amdahl  = flag.Float64("amdahl", 0, "mix weight: Amdahl jobs")
+		power   = flag.Float64("power", 0, "mix weight: power-law jobs")
+		comm    = flag.Float64("comm", 0, "mix weight: communication-overhead jobs")
+		seq     = flag.Float64("seq", 0, "mix weight: sequential jobs")
+		perfect = flag.Float64("perfect", 0, "mix weight: perfect-speedup jobs")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("geninstance: ")
+
+	var in *moldable.Instance
+	switch {
+	case *planted:
+		pl := moldable.Planted(moldable.PlantedConfig{M: *m, D: *d, Seed: *seed, MaxJobs: *n})
+		in = pl.Instance
+		fmt.Fprintf(os.Stderr, "planted optimum: %g (%d jobs)\n", pl.OPT, in.N())
+	case *preset != "":
+		cfg, err := moldable.Preset(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.N, cfg.M, cfg.Seed = *n, *m, *seed
+		in = moldable.Random(cfg)
+		fmt.Fprintf(os.Stderr, "%s\n", moldable.Summarize(in))
+	default:
+		in = moldable.Random(moldable.GenConfig{
+			N: *n, M: *m, Seed: *seed,
+			Amdahl: *amdahl, Power: *power, Comm: *comm, Sequential: *seq, Perfect: *perfect,
+		})
+	}
+	if err := moldable.WriteInstance(os.Stdout, in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,16 @@
+// Crossover: reproduces the motivation of §4.2 — the original
+// Mounié–Rapine–Trystram dual costs O(nm) per call, while the improved
+// algorithms cost polylog(m). This study times both on the same
+// workloads for growing m and reports the crossover point.
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiments.Crossover(os.Stdout, 256,
+		[]int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}, 0.25, 42)
+}

@@ -1,0 +1,16 @@
+// Reduction: walks through Theorem 1 — the strong NP-hardness of
+// monotone moldable scheduling — end to end: generate a 4-Partition
+// instance, reduce it to a scheduling instance with strictly monotone
+// jobs t_ji(k) = m·a_i − k + 1, solve both sides, and render the Fig. 1
+// schedule in which every machine is loaded to exactly d = nB.
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiments.Fig1(os.Stdout, 4, 7)
+}

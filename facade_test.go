@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/moldable"
+)
+
+// The facade must round-trip the common workflow without touching
+// internal packages beyond moldable.
+func TestFacadeSchedule(t *testing.T) {
+	in := &moldable.Instance{
+		M: 64,
+		Jobs: []moldable.Job{
+			moldable.Amdahl{Seq: 2, Par: 98},
+			moldable.PerfectSpeedup{W: 512},
+			moldable.Sequential{T: 7},
+		},
+	}
+	s, rep, err := repro.Schedule(in, repro.Options{Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Guarantee <= 1 || rep.Makespan <= 0 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+}
+
+func TestFacadeEstimateAndTwoApprox(t *testing.T) {
+	pl := moldable.Planted(moldable.PlantedConfig{M: 32, D: 50, Seed: 3, MaxJobs: 12})
+	est := repro.Estimate(pl.Instance)
+	if est.Omega > pl.OPT*(1+1e-9) {
+		t.Errorf("ω=%v exceeds OPT=%v", est.Omega, pl.OPT)
+	}
+	s, res := repro.TwoApprox(pl.Instance)
+	if err := repro.Validate(pl.Instance, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() > 2*res.Omega*(1+1e-9) {
+		t.Errorf("2-approx makespan %v > 2ω", s.Makespan())
+	}
+}
+
+func TestFacadeAlgorithmConstants(t *testing.T) {
+	in := &moldable.Instance{M: 8, Jobs: []moldable.Job{moldable.Sequential{T: 1}}}
+	for _, a := range []repro.Algorithm{repro.LT2, repro.MRT, repro.Alg1, repro.Alg3, repro.Linear} {
+		if _, _, err := repro.Schedule(in, repro.Options{Algorithm: a, Eps: 0.5}); err != nil {
+			t.Errorf("%v: %v", a, err)
+		}
+	}
+}
+
+func TestFacadePTAS(t *testing.T) {
+	pl := moldable.Planted(moldable.PlantedConfig{M: 1 << 12, D: 30, Seed: 4, MaxJobs: 8})
+	s, _, err := repro.PTAS(pl.Instance, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() > 1.5*pl.OPT*(1+1e-9) {
+		t.Errorf("PTAS ratio %.3f", s.Makespan()/pl.OPT)
+	}
+}

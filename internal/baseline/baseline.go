@@ -1,0 +1,92 @@
+// Package baseline provides deliberately naive scheduling strategies.
+// They exist to quantify, in the experiment tables, how much the
+// paper's machinery actually buys: the moldable algorithms must beat
+// them on quality (and the compact-encoding ones on speed).
+package baseline
+
+import (
+	"repro/internal/gamma"
+	"repro/internal/listsched"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// AllSequential runs every job on one processor and list-schedules —
+// ignores moldability entirely. Makespan can be Θ(max t_j(1)) worse
+// than OPT on parallelizable workloads, but its total work is minimal.
+func AllSequential(in *moldable.Instance) *schedule.Schedule {
+	allot := make([]int, in.N())
+	for i := range allot {
+		allot[i] = 1
+	}
+	return listsched.Greedy(in, allot)
+}
+
+// AllParallel gives every job all m processors and runs them back to
+// back — minimizes each individual processing time while maximizing
+// work. Makespan Σ t_j(m); up to a factor n from OPT.
+func AllParallel(in *moldable.Instance) *schedule.Schedule {
+	s := schedule.New(in.M)
+	var at moldable.Time
+	for i, j := range in.Jobs {
+		d := j.Time(in.M)
+		s.AddAt(i, in.M, at, d, 0)
+		at += d
+	}
+	return s
+}
+
+// EqualShare splits the machine evenly: each job gets max(1, m/n)
+// processors (capped at m) and the result is list-scheduled. The
+// classic "fair" heuristic; reasonable on uniform workloads, poor on
+// skewed ones.
+func EqualShare(in *moldable.Instance) *schedule.Schedule {
+	n := in.N()
+	share := in.M / n
+	if share < 1 {
+		share = 1
+	}
+	allot := make([]int, n)
+	for i := range allot {
+		allot[i] = share
+	}
+	return listsched.Greedy(in, allot)
+}
+
+// SquashToLowerBound allots each job γ_j(LB) where LB is the trivial
+// lower bound (work/m and t(m)), falling back to m where undefined,
+// then list-schedules. A plausible "informed" heuristic that still
+// lacks the dual search — included because it looks sensible and the
+// tables show it is not enough.
+func SquashToLowerBound(in *moldable.Instance) *schedule.Schedule {
+	lb := in.LowerBound()
+	allot := make([]int, in.N())
+	for i, j := range in.Jobs {
+		if g, ok := gamma.Gamma(j, in.M, lb); ok {
+			allot[i] = g
+		} else {
+			allot[i] = in.M
+		}
+	}
+	return listsched.Greedy(in, allot)
+}
+
+// Names lists the baselines for table harnesses.
+func Names() []string {
+	return []string{"all-sequential", "all-parallel", "equal-share", "squash-lb"}
+}
+
+// Run dispatches by name.
+func Run(name string, in *moldable.Instance) *schedule.Schedule {
+	switch name {
+	case "all-sequential":
+		return AllSequential(in)
+	case "all-parallel":
+		return AllParallel(in)
+	case "equal-share":
+		return EqualShare(in)
+	case "squash-lb":
+		return SquashToLowerBound(in)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package certify implements the NP-membership argument of Jansen &
+// Land §2: a schedule with makespan ≤ d is witnessed by just the
+// processor counts and a start order — n(log m + log n) bits. Replaying
+// the witness through insertion list scheduling reconstructs a schedule
+// at least as good: placing jobs in order of witnessed start times,
+// each at its earliest feasible time, never delays a job past its
+// witnessed start (the exchange argument also used by the exact
+// solver; see listsched.Insertion).
+package certify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/listsched"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Certificate is the §2 witness: an allotment and a start order.
+type Certificate struct {
+	Allot []int // processors per job, 1..m
+	Order []int // job indices by non-decreasing witnessed start time
+}
+
+// FromSchedule extracts a certificate from any feasible schedule.
+func FromSchedule(s *schedule.Schedule, n int) (*Certificate, error) {
+	if len(s.Placements) != n {
+		return nil, fmt.Errorf("certify: schedule has %d placements for %d jobs", len(s.Placements), n)
+	}
+	c := &Certificate{Allot: make([]int, n), Order: make([]int, 0, n)}
+	idx := make([]int, len(s.Placements))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s.Placements[idx[a]].Start < s.Placements[idx[b]].Start
+	})
+	for _, i := range idx {
+		p := s.Placements[i]
+		if p.Job < 0 || p.Job >= n || c.Allot[p.Job] != 0 {
+			return nil, errors.New("certify: schedule does not cover each job exactly once")
+		}
+		c.Allot[p.Job] = p.Procs
+		c.Order = append(c.Order, p.Job)
+	}
+	return c, nil
+}
+
+// Verify replays the certificate with list scheduling and checks the
+// target makespan. On success it returns the reconstructed schedule,
+// which is feasible and has makespan ≤ d. Soundness: Verify never
+// accepts a (certificate, d) pair for which no such schedule exists,
+// because the replayed schedule itself is the proof (it is validated
+// exactly). Completeness: for any feasible schedule S with makespan
+// ≤ d, FromSchedule(S) verifies — list scheduling by witnessed start
+// order starts every job no later than S did.
+func Verify(in *moldable.Instance, d moldable.Time, c *Certificate) (*schedule.Schedule, error) {
+	n := in.N()
+	if len(c.Allot) != n || len(c.Order) != n {
+		return nil, fmt.Errorf("certify: certificate shape (%d,%d) for n=%d", len(c.Allot), len(c.Order), n)
+	}
+	seen := make([]bool, n)
+	for _, j := range c.Order {
+		if j < 0 || j >= n || seen[j] {
+			return nil, errors.New("certify: order is not a permutation")
+		}
+		seen[j] = true
+	}
+	for j, a := range c.Allot {
+		if a < 1 || a > in.M {
+			return nil, fmt.Errorf("certify: job %d allotted %d processors (m=%d)", j, a, in.M)
+		}
+	}
+	s := listsched.Insertion(in, c.Allot, c.Order)
+	if err := schedule.Validate(in, s, schedule.Options{}); err != nil {
+		return nil, fmt.Errorf("certify: replay invalid: %w", err)
+	}
+	if mk := s.Makespan(); mk > d*(1+1e-9) {
+		return nil, fmt.Errorf("certify: replayed makespan %v exceeds d=%v", mk, d)
+	}
+	return s, nil
+}
+
+// Bits returns the witness length in bits, n(⌈log₂ m⌉ + ⌈log₂ n⌉),
+// matching the paper's counting argument.
+func Bits(n, m int) int {
+	return n * (ceilLog2(m) + ceilLog2(n))
+}
+
+func ceilLog2(x int) int {
+	b := 0
+	for v := 1; v < x; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+// Package compress implements the paper's compression technique
+// (Jansen & Land, Lemma 4 and Lemma 16): reducing the number of
+// processors allotted to a wide job in exchange for a bounded increase in
+// its processing time, justified only by the monotonicity of the work
+// function. Compression is the central tool that converts running times
+// polynomial in m into running times polynomial in log m.
+package compress
+
+import "math"
+
+// Valid reports whether rho is a valid compression factor (0, 1/4].
+func Valid(rho float64) bool { return rho > 0 && rho <= 0.25 }
+
+// Threshold returns the minimum processor count 1/ρ (rounded up) a job
+// must use for Lemma 4 to apply with factor rho.
+func Threshold(rho float64) int { return int(math.Ceil(1 / rho)) }
+
+// CompressedProcs returns ⌊b(1−ρ)⌋, the processor count after
+// compressing a job from b processors with factor rho. Lemma 4
+// guarantees t_j(CompressedProcs(b,ρ)) ≤ (1+4ρ)·t_j(b) whenever
+// b ≥ 1/ρ.
+func CompressedProcs(b int, rho float64) int {
+	return int(math.Floor(float64(b) * (1 - rho)))
+}
+
+// TimeFactor returns the worst-case processing-time inflation 1+4ρ of a
+// compression with factor rho.
+func TimeFactor(rho float64) float64 { return 1 + 4*rho }
+
+// Lemma16 carries the derived constants of Jansen & Land Lemma 16 for an
+// accuracy δ ∈ (0,1]: ρ = (√(1+δ)−1)/4, full compression factor
+// ρ′ = 2ρ−ρ², and the wide-job threshold b = 1/ρ′. A job using at least
+// b processors can be compressed with factor ρ′, shrinking its processor
+// count by (1−ρ)² while its processing time grows by less than 1+δ.
+type Lemma16 struct {
+	Delta   float64
+	Rho     float64 // "half" factor used inside Algorithm 2
+	RhoFull float64 // 2ρ−ρ², the full factor
+	B       int     // wide-job threshold ⌈1/ρ′⌉
+}
+
+// NewLemma16 computes the constants for accuracy delta.
+func NewLemma16(delta float64) Lemma16 {
+	rho := (math.Sqrt(1+delta) - 1) / 4
+	rhoFull := 2*rho - rho*rho
+	return Lemma16{
+		Delta:   delta,
+		Rho:     rho,
+		RhoFull: rhoFull,
+		B:       int(math.Ceil(1 / rhoFull)),
+	}
+}
+
+// HalfFactor inverts RhoFull: given a full compression factor ρ′ it
+// returns ρ with 2ρ−ρ² = ρ′ (i.e. 1−ρ = √(1−ρ′)). Algorithm 2 uses ρ
+// internally (for the geometric capacity grid and the adaptive
+// normalization) while guaranteeing feasibility under ρ′.
+func HalfFactor(rhoFull float64) float64 {
+	return 1 - math.Sqrt(1-rhoFull)
+}

@@ -1,0 +1,123 @@
+package compress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/moldable"
+)
+
+// TestLemma4Property checks the compression lemma on random monotone
+// jobs: for ρ ∈ (0, 1/4] and b ≥ 1/ρ,
+// t(⌊b(1−ρ)⌋) ≤ (1+4ρ)·t(b).
+func TestLemma4Property(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for it := 0; it < 2000; it++ {
+		rho := 0.01 + 0.24*rng.Float64()
+		b := Threshold(rho) + rng.IntN(1000)
+		m := b + 10
+		var j moldable.Job
+		switch it % 4 {
+		case 0:
+			j = moldable.Amdahl{Seq: rng.Float64() * 10, Par: 1 + rng.Float64()*100}
+		case 1:
+			j = moldable.Power{W: 1 + rng.Float64()*100, Alpha: rng.Float64()}
+		case 2:
+			j = moldable.Comm{W: 1 + rng.Float64()*100, C: rng.Float64() * 0.1}
+		default:
+			j = moldable.SmallTable(rng, m, 100)
+		}
+		bp := CompressedProcs(b, rho)
+		if bp < 1 {
+			t.Fatalf("compressed procs %d < 1 (b=%d rho=%v)", bp, b, rho)
+		}
+		lhs := j.Time(bp)
+		rhs := TimeFactor(rho) * j.Time(b)
+		if lhs > rhs*(1+1e-9) {
+			t.Fatalf("Lemma 4 violated: t(%d)=%v > (1+4ρ)t(%d)=%v (ρ=%v, job %v)", bp, lhs, b, rhs, rho, j)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(0.25) != 4 {
+		t.Errorf("Threshold(0.25) = %d, want 4", Threshold(0.25))
+	}
+	if Threshold(0.1) != 10 {
+		t.Errorf("Threshold(0.1) = %d, want 10", Threshold(0.1))
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, rho := range []float64{0.0001, 0.25} {
+		if !Valid(rho) {
+			t.Errorf("Valid(%v) = false", rho)
+		}
+	}
+	for _, rho := range []float64{0, -0.1, 0.26, 1} {
+		if Valid(rho) {
+			t.Errorf("Valid(%v) = true", rho)
+		}
+	}
+}
+
+// TestLemma16Constants checks the identities of Lemma 16:
+// (1+4ρ)² = 1+δ, ρ′ = 2ρ−ρ², (1−ρ)² = 1−ρ′, ρ = Θ(δ), b = Θ(1/δ).
+func TestLemma16Constants(t *testing.T) {
+	f := func(dRaw uint16) bool {
+		delta := 0.001 + float64(dRaw%1000)/1000 // (0, 1]
+		l := NewLemma16(delta)
+		if math.Abs((1+4*l.Rho)*(1+4*l.Rho)-(1+delta)) > 1e-9 {
+			return false
+		}
+		if math.Abs(l.RhoFull-(2*l.Rho-l.Rho*l.Rho)) > 1e-12 {
+			return false
+		}
+		if math.Abs((1-l.Rho)*(1-l.Rho)-(1-l.RhoFull)) > 1e-12 {
+			return false
+		}
+		// ρ ∈ [δ/12, δ/4] per the paper
+		if l.Rho < delta/12-1e-12 || l.Rho > delta/4+1e-12 {
+			return false
+		}
+		// 2ρ ≤ 1/4 for δ ≤ 5/4
+		if 2*l.Rho > 0.25+1e-12 {
+			return false
+		}
+		return l.B >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfFactorInvertsRhoFull(t *testing.T) {
+	for _, rhoFull := range []float64{0.01, 0.1, 0.2, 0.4} {
+		rho := HalfFactor(rhoFull)
+		if got := 2*rho - rho*rho; math.Abs(got-rhoFull) > 1e-12 {
+			t.Errorf("HalfFactor(%v): 2ρ−ρ² = %v", rhoFull, got)
+		}
+	}
+}
+
+// TestLemma16Compression end-to-end: a job on g ≥ b processors can drop
+// to ⌊(1−ρ′)g⌋ processors with time inflation < 1+δ.
+func TestLemma16Compression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for it := 0; it < 500; it++ {
+		delta := 0.05 + 0.95*rng.Float64()
+		l := NewLemma16(delta)
+		g := l.B + rng.IntN(500)
+		j := moldable.Amdahl{Seq: rng.Float64(), Par: 1 + rng.Float64()*50}
+		gc := CompressedProcs(g, l.RhoFull)
+		if gc < 1 {
+			t.Fatalf("compressed to %d procs", gc)
+		}
+		if j.Time(gc) > (1+delta)*j.Time(g)*(1+1e-9) {
+			t.Fatalf("Lemma 16 violated: δ=%v g=%d gc=%d: %v > %v",
+				delta, g, gc, j.Time(gc), (1+delta)*j.Time(g))
+		}
+	}
+}

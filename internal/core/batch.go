@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/moldable"
+	"repro/internal/parallel"
+	"repro/internal/schedule"
+)
+
+// BatchResult is the outcome of one instance in a batch.
+type BatchResult struct {
+	Schedule *schedule.Schedule
+	Report   *Report
+	Err      error
+}
+
+// ScheduleMany schedules independent instances concurrently (the
+// algorithms themselves stay sequential; batches — parameter sweeps,
+// experiment campaigns, per-queue scheduling — are embarrassingly
+// parallel). workers ≤ 0 selects GOMAXPROCS.
+func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
+	out := make([]BatchResult, len(ins))
+	parallel.ForEach(len(ins), workers, func(i int) {
+		s, rep, err := Schedule(ins[i], opt)
+		out[i] = BatchResult{Schedule: s, Report: rep, Err: err}
+	})
+	return out
+}
+
+// ValidateMany validates instances concurrently (per-job monotonicity
+// probing dominates; see moldable.CheckMonotone).
+func ValidateMany(ins []*moldable.Instance, maxProbes, workers int) error {
+	return parallel.Errors(len(ins), workers, func(i int) error {
+		return ins[i].Validate(maxProbes)
+	})
+}

@@ -1,0 +1,188 @@
+// Package core is the public facade of the library: algorithm selection,
+// a single Schedule entry point with options, rich reports, and the PTAS
+// router of §3.2.
+//
+// Algorithms (all for monotone moldable jobs, makespan minimization):
+//
+//	LT2     classical 2-approximation (Ludwig–Tiwari + list scheduling)
+//	MRT     (3/2+ε), original O(nm) knapsack (Mounié–Rapine–Trystram)
+//	Alg1    (3/2+ε), compressible knapsack, §4.2.5 — polylog in m
+//	Alg3    (3/2+ε), bounded knapsack with rounded types, §4.3
+//	Linear  (3/2+ε), §4.3.3 — linear in n, polylog in m
+//	FPTAS   (1+ε) for m ≥ 16n/ε (Theorem 2)
+//	Auto    FPTAS when applicable, otherwise Linear
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dual"
+	"repro/internal/exact"
+	"repro/internal/fast"
+	"repro/internal/fptas"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/mrt"
+	"repro/internal/schedule"
+)
+
+// Algorithm selects the scheduling algorithm.
+type Algorithm int
+
+// Available algorithms.
+const (
+	Auto Algorithm = iota
+	LT2
+	MRT
+	Alg1
+	Alg3
+	Linear
+	FPTAS
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case LT2:
+		return "lt2"
+	case MRT:
+		return "mrt"
+	case Alg1:
+		return "alg1"
+	case Alg3:
+		return "alg3"
+	case Linear:
+		return "linear"
+	case FPTAS:
+		return "fptas"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return Auto, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Options configures Schedule.
+type Options struct {
+	Algorithm Algorithm
+	// Eps is the accuracy parameter ε ∈ (0,1]; defaults to 0.1.
+	// LT2 ignores it.
+	Eps float64
+	// Validate re-checks the schedule against the instance before
+	// returning (on by default in ValidateOrDie-style helpers; here an
+	// explicit opt-in to keep the hot path clean).
+	Validate bool
+}
+
+// Report describes the outcome.
+type Report struct {
+	Algorithm  Algorithm
+	Eps        float64
+	Guarantee  float64 // proven approximation factor of the configuration
+	Makespan   moldable.Time
+	Omega      moldable.Time // estimator lower bound (ω ≤ OPT)
+	LowerBound moldable.Time // max(ω, simple bounds)
+	Ratio      float64       // Makespan / LowerBound (≥ 1; an upper bound on the true ratio)
+	Iterations int           // dual-search probes (0 for LT2)
+	Elapsed    time.Duration
+}
+
+// Schedule solves the instance with the selected algorithm.
+func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
+	if opt.Eps == 0 {
+		opt.Eps = 0.1
+	}
+	if opt.Eps < 0 || opt.Eps > 1 {
+		return nil, nil, fmt.Errorf("core: eps=%v must be in (0,1]", opt.Eps)
+	}
+	start := time.Now()
+	rep := &Report{Algorithm: opt.Algorithm, Eps: opt.Eps}
+	var s *schedule.Schedule
+	var dr dual.Report
+	var err error
+	algo := opt.Algorithm
+	if algo == Auto {
+		if fptas.Applicable(in.N(), in.M, opt.Eps/2) {
+			algo = FPTAS
+		} else {
+			algo = Linear
+		}
+		rep.Algorithm = algo
+	}
+	switch algo {
+	case LT2:
+		var est lt.Result
+		s, est = lt.TwoApprox(in)
+		dr.Omega = est.Omega
+		rep.Guarantee = 2
+	case MRT:
+		s, dr, err = mrt.Schedule(in, opt.Eps)
+		rep.Guarantee = 1.5 + opt.Eps
+	case Alg1:
+		s, dr, err = fast.ScheduleAlg1(in, opt.Eps)
+		rep.Guarantee = 1.5 + opt.Eps
+	case Alg3:
+		s, dr, err = fast.ScheduleAlg3(in, opt.Eps)
+		rep.Guarantee = 1.5 + opt.Eps
+	case Linear:
+		s, dr, err = fast.ScheduleLinear(in, opt.Eps)
+		rep.Guarantee = 1.5 + opt.Eps
+	case FPTAS:
+		s, dr, err = fptas.Schedule(in, opt.Eps)
+		rep.Guarantee = 1 + opt.Eps
+	default:
+		return nil, nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Makespan = s.Makespan()
+	rep.Omega = dr.Omega
+	rep.Iterations = dr.Iterations
+	rep.LowerBound = rep.Omega
+	if lb := in.LowerBound(); lb > rep.LowerBound {
+		rep.LowerBound = lb
+	}
+	if rep.LowerBound > 0 {
+		rep.Ratio = float64(rep.Makespan / rep.LowerBound)
+	}
+	if opt.Validate {
+		if verr := schedule.Validate(in, s, schedule.Options{}); verr != nil {
+			return nil, rep, fmt.Errorf("core: produced invalid schedule: %w", verr)
+		}
+	}
+	return s, rep, nil
+}
+
+// ErrPTASRegime signals that a true (1+ε) guarantee is not certifiable
+// for this instance with the algorithms of this paper: the paper's §3.2
+// PTAS delegates m < 8n/ε to the Jansen–Thöle PTAS [14], which is
+// outside this paper's contribution (see DESIGN.md §3).
+var ErrPTASRegime = errors.New("core: m too small for the paper's FPTAS; " +
+	"the general-case PTAS [Jansen–Thöle] is out of scope — use Linear (3/2+ε) instead")
+
+// PTAS is the §3.2 router: the Theorem-2 FPTAS when m ≥ 16n/ε, the exact
+// solver for tiny instances, and ErrPTASRegime otherwise.
+func PTAS(in *moldable.Instance, eps float64) (*schedule.Schedule, *Report, error) {
+	if fptas.Applicable(in.N(), in.M, eps/2) {
+		return Schedule(in, Options{Algorithm: FPTAS, Eps: eps})
+	}
+	if opt, s, err := exact.Solve(in, exact.Limits{}); err == nil {
+		rep := &Report{Algorithm: FPTAS, Eps: eps, Guarantee: 1,
+			Makespan: s.Makespan(), LowerBound: opt, Ratio: 1}
+		return s, rep, nil
+	}
+	return nil, nil, ErrPTASRegime
+}

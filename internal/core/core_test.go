@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+func TestAllAlgorithmsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	algos := []Algorithm{LT2, MRT, Alg1, Alg3, Linear, Auto}
+	for it := 0; it < 15; it++ {
+		in := moldable.Random(moldable.GenConfig{N: 1 + rng.IntN(40), M: 1 + rng.IntN(128),
+			Seed: rng.Uint64()})
+		for _, a := range algos {
+			s, rep, err := Schedule(in, Options{Algorithm: a, Eps: 0.25, Validate: true})
+			if err != nil {
+				t.Fatalf("it %d %v: %v", it, a, err)
+			}
+			if rep.Makespan != s.Makespan() {
+				t.Fatalf("%v: report makespan mismatch", a)
+			}
+			if rep.Ratio > rep.Guarantee*2+1e-9 { // makespan ≤ g·OPT ≤ g·2·LB
+				t.Errorf("it %d %v: ratio-to-LB %.3f exceeds 2·guarantee", it, a, rep.Ratio)
+			}
+		}
+	}
+}
+
+func TestFPTASAlgorithmGuarantee(t *testing.T) {
+	pl := moldable.Planted(moldable.PlantedConfig{M: 8192, D: 64, Seed: 5, MaxJobs: 20})
+	s, rep, err := Schedule(pl.Instance, Options{Algorithm: FPTAS, Eps: 0.2, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk := s.Makespan(); mk > 1.2*pl.OPT*(1+1e-9) {
+		t.Errorf("FPTAS ratio %.4f > 1.2", mk/pl.OPT)
+	}
+	if rep.Guarantee != 1.2 {
+		t.Errorf("guarantee %v, want 1.2", rep.Guarantee)
+	}
+}
+
+func TestAutoPicksFPTASForLargeM(t *testing.T) {
+	pl := moldable.Planted(moldable.PlantedConfig{M: 1 << 14, D: 10, Seed: 2, MaxJobs: 8})
+	_, rep, err := Schedule(pl.Instance, Options{Algorithm: Auto, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != FPTAS {
+		t.Errorf("auto picked %v for m=2^14, n=8", rep.Algorithm)
+	}
+	in := moldable.Random(moldable.GenConfig{N: 64, M: 32, Seed: 3})
+	_, rep2, err := Schedule(in, Options{Algorithm: Auto, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Algorithm != Linear {
+		t.Errorf("auto picked %v for m=32, n=64", rep2.Algorithm)
+	}
+}
+
+func TestPTASRouter(t *testing.T) {
+	// large m: FPTAS path
+	pl := moldable.Planted(moldable.PlantedConfig{M: 1 << 13, D: 32, Seed: 4, MaxJobs: 10})
+	s, _, err := PTAS(pl.Instance, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk := s.Makespan(); mk > 1.5*pl.OPT*(1+1e-9) {
+		t.Errorf("PTAS ratio %.3f > 1+ε", mk/pl.OPT)
+	}
+	// tiny instance: exact path
+	tiny := moldable.Random(moldable.GenConfig{N: 3, M: 3, Seed: 5, MaxWork: 20})
+	if _, rep, err := PTAS(tiny, 0.1); err != nil {
+		t.Fatal(err)
+	} else if rep.Ratio != 1 {
+		t.Errorf("exact path ratio %v", rep.Ratio)
+	}
+	// middle regime: explicit error
+	mid := moldable.Random(moldable.GenConfig{N: 100, M: 64, Seed: 6})
+	if _, _, err := PTAS(mid, 0.1); err == nil {
+		t.Error("middle regime must return ErrPTASRegime")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip failed for %v", a)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestScheduleRejectsBadEps(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 2, M: 2, Seed: 1})
+	if _, _, err := Schedule(in, Options{Eps: -0.5}); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, _, err := Schedule(in, Options{Eps: 1.5}); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+}
+
+// TestValidateOption: a validating schedule round-trips; the validator is
+// wired in (mutating the schedule would fail, covered elsewhere).
+func TestValidateOption(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 6, M: 16, Seed: 9})
+	if _, _, err := Schedule(in, Options{Algorithm: Linear, Eps: 0.5, Validate: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuaranteeRespected across algorithms on planted instances.
+func TestGuaranteeRespected(t *testing.T) {
+	for _, seed := range []uint64{11, 12, 13} {
+		pl := moldable.Planted(moldable.PlantedConfig{M: 40, D: 77, Seed: seed, MaxJobs: 22})
+		for _, a := range []Algorithm{LT2, MRT, Alg1, Alg3, Linear} {
+			s, rep, err := Schedule(pl.Instance, Options{Algorithm: a, Eps: 0.3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mk := s.Makespan(); mk > rep.Guarantee*pl.OPT*(1+1e-9) {
+				t.Errorf("seed %d %v: makespan %v > guarantee·OPT = %v",
+					seed, a, mk, rep.Guarantee*pl.OPT)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 4, M: 8, Seed: 10})
+	s, _, err := Schedule(in, Options{Algorithm: Linear, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Placements[0].Duration *= 2
+	if verr := schedule.Validate(in, s, schedule.Options{}); verr == nil {
+		t.Error("validator missed corrupted duration")
+	}
+}
+
+func TestScheduleMany(t *testing.T) {
+	var ins []*moldable.Instance
+	for seed := uint64(0); seed < 12; seed++ {
+		ins = append(ins, moldable.Random(moldable.GenConfig{N: 10, M: 32, Seed: seed}))
+	}
+	results := ScheduleMany(ins, Options{Algorithm: Linear, Eps: 0.5}, 4)
+	if len(results) != len(ins) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		if err := schedule.Validate(ins[i], r.Schedule, schedule.Options{}); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		// determinism: batch result equals a serial run
+		s, _, err := Schedule(ins[i], Options{Algorithm: Linear, Eps: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() != r.Schedule.Makespan() {
+			t.Fatalf("instance %d: batch makespan %v differs from serial %v",
+				i, r.Schedule.Makespan(), s.Makespan())
+		}
+	}
+}
+
+func TestValidateMany(t *testing.T) {
+	good := moldable.Random(moldable.GenConfig{N: 5, M: 16, Seed: 1})
+	bad := &moldable.Instance{M: 2, Jobs: []moldable.Job{moldable.Table{T: []moldable.Time{1, 5}}}}
+	if err := ValidateMany([]*moldable.Instance{good, good}, 0, 2); err != nil {
+		t.Fatalf("valid instances rejected: %v", err)
+	}
+	if err := ValidateMany([]*moldable.Instance{good, bad}, 0, 2); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package dual implements the dual-approximation framework of Hochbaum &
+// Shmoys used throughout Jansen & Land §3–4: a c-dual algorithm accepts a
+// target makespan d and either produces a schedule of makespan ≤ c·d or
+// rejects, with the guarantee that it never rejects a d ≥ OPT. Combined
+// with an estimator ω ≤ OPT ≤ 2ω, binary search over d ∈ [ω, 2ω] with
+// O(log 1/ε) probes yields a (c+ε)-approximation.
+package dual
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Algorithm is a c-dual approximate algorithm.
+type Algorithm interface {
+	// Try attempts target makespan d. On success it returns a feasible
+	// schedule with makespan at most Guarantee()·d. On failure it returns
+	// (nil, false); this certifies d < OPT.
+	Try(d moldable.Time) (*schedule.Schedule, bool)
+	// Guarantee returns the dual factor c ≥ 1.
+	Guarantee() float64
+}
+
+// Report summarizes a dual binary search.
+type Report struct {
+	Omega      moldable.Time // estimator lower bound (ω ≤ OPT)
+	AcceptedD  moldable.Time // final accepted target
+	RejectedD  moldable.Time // largest rejected target (< OPT), 0 if none
+	Makespan   moldable.Time
+	Iterations int
+}
+
+// ErrNoSchedule is returned when the dual algorithm rejects even the
+// upper estimate 2ω, which certifies a bug in either the estimator or
+// the dual algorithm (it must accept any d ≥ OPT).
+var ErrNoSchedule = errors.New("dual: algorithm rejected d ≥ OPT; dual guarantee violated")
+
+// Search runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.
+// The returned schedule has makespan ≤ (c+eps)·OPT.
+//
+// Invariants: hi is always accepted; lo is either ω (≤ OPT) or a rejected
+// value (< OPT). The loop narrows hi−lo below (eps/c)·ω, after which
+// makespan ≤ c·hi ≤ c·lo + eps·ω ≤ (c+eps)·OPT.
+func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
+	if eps <= 0 {
+		return nil, Report{}, fmt.Errorf("dual: eps=%v must be positive", eps)
+	}
+	c := algo.Guarantee()
+	rep := Report{Omega: omega}
+	if omega <= 0 {
+		return nil, rep, errors.New("dual: estimator returned non-positive omega")
+	}
+	lo, hi := omega, 2*omega
+	sched, ok := algo.Try(hi)
+	rep.Iterations++
+	if !ok {
+		return nil, rep, ErrNoSchedule
+	}
+	// d = lo may already be feasible; probing it first can save half the
+	// interval but is not required for the guarantee.
+	target := eps / c * omega
+	for hi-lo > target {
+		mid := lo + (hi-lo)/2
+		s, ok := algo.Try(mid)
+		rep.Iterations++
+		if ok {
+			hi, sched = mid, s
+		} else {
+			lo = mid
+			rep.RejectedD = mid
+		}
+	}
+	rep.AcceptedD = hi
+	rep.Makespan = sched.Makespan()
+	// Defensive: the dual contract promises makespan ≤ c·hi.
+	if rep.Makespan > c*hi*(1+1e-9) {
+		return nil, rep, fmt.Errorf("dual: accepted schedule has makespan %v > c·d = %v",
+			rep.Makespan, c*hi)
+	}
+	return sched, rep, nil
+}
+
+// Iterations returns the number of probes Search will use for the given
+// eps and guarantee c: ⌈log2(c/eps)⌉ + 1.
+func Iterations(c, eps float64) int {
+	if eps >= c {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(c/eps))) + 1
+}

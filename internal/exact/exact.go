@@ -1,0 +1,136 @@
+// Package exact provides an exponential-time exact solver for tiny
+// moldable instances, used as ground truth by the approximation-ratio
+// tests and by the 4-Partition reduction experiments.
+//
+// It relies on a structural fact about rigid parallel jobs: for any
+// feasible schedule, INSERTION list scheduling of the jobs sorted by
+// their start times yields a schedule in which every job starts no
+// later than before — during a job's witnessed execution window, every
+// earlier-ordered job running in the replay also runs in the reference
+// schedule, so the witnessed slot is always free. Hence searching all
+// allotment vectors × all job permutations with listsched.Insertion
+// reaches an optimal schedule. (Skip-ahead greedy disciplines do NOT
+// have this property.)
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/listsched"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Limits bounds the search to keep it tractable.
+type Limits struct {
+	MaxJobs int // default 7
+	MaxM    int // default 8
+	// MaxNodes caps allotment×permutation nodes explored (default 5e7).
+	MaxNodes int64
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxJobs <= 0 {
+		l.MaxJobs = 7
+	}
+	if l.MaxM <= 0 {
+		l.MaxM = 8
+	}
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = 5e7
+	}
+	return l
+}
+
+// ErrTooLarge reports that the instance exceeds the search limits.
+var ErrTooLarge = errors.New("exact: instance too large for exact search")
+
+// Solve returns the exact optimal makespan and an optimal schedule.
+func Solve(in *moldable.Instance, lim Limits) (moldable.Time, *schedule.Schedule, error) {
+	lim = lim.withDefaults()
+	n, m := in.N(), in.M
+	if n > lim.MaxJobs || m > lim.MaxM {
+		return 0, nil, fmt.Errorf("%w: n=%d m=%d (limits %d/%d)", ErrTooLarge, n, m, lim.MaxJobs, lim.MaxM)
+	}
+	best := math.Inf(1)
+	var bestSched *schedule.Schedule
+	allot := make([]int, n)
+	order := make([]int, n)
+	usedOrder := make([]bool, n)
+	var nodes int64
+
+	lower := in.LowerBound()
+
+	var tryPerm func(pos int)
+	tryPerm = func(pos int) {
+		if best <= lower*(1+1e-12) {
+			return // provably optimal already
+		}
+		if pos == n {
+			nodes++
+			s := listsched.Insertion(in, allot, order)
+			if mk := s.Makespan(); mk < best {
+				best = mk
+				bestSched = s
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if usedOrder[j] {
+				continue
+			}
+			usedOrder[j] = true
+			order[pos] = j
+			tryPerm(pos + 1)
+			usedOrder[j] = false
+		}
+	}
+
+	// sufMin[j] = Σ_{k ≥ j} w_k(1): minimum possible work of the suffix
+	// (monotone jobs have minimum work on one processor).
+	sufMin := make([]moldable.Time, n+1)
+	for j := n - 1; j >= 0; j-- {
+		sufMin[j] = sufMin[j+1] + in.Jobs[j].Time(1)
+	}
+
+	var tryAllot func(job int, work moldable.Time)
+	tryAllot = func(job int, work moldable.Time) {
+		if nodes > lim.MaxNodes {
+			return
+		}
+		if (work+sufMin[job])/moldable.Time(m) >= best {
+			return // work lower bound already meets the incumbent
+		}
+		if job == n {
+			tryPerm(0)
+			return
+		}
+		for p := 1; p <= m; p++ {
+			if in.Jobs[job].Time(p) >= best {
+				continue // this job alone would not beat the incumbent
+			}
+			allot[job] = p
+			tryAllot(job+1, work+moldable.Work(in.Jobs[job], p))
+		}
+	}
+	tryAllot(0, 0)
+	if nodes > lim.MaxNodes {
+		return 0, nil, fmt.Errorf("%w: node budget exhausted", ErrTooLarge)
+	}
+	if bestSched == nil {
+		return 0, nil, errors.New("exact: no schedule found")
+	}
+	return best, bestSched, nil
+}
+
+// Decision reports whether a schedule with makespan ≤ d exists, using
+// Solve. Intended for the reduction tests.
+func Decision(in *moldable.Instance, d moldable.Time, lim Limits) (bool, error) {
+	opt, _, err := Solve(in, lim)
+	if err != nil {
+		return false, err
+	}
+	return opt <= d*(1+1e-12), nil
+}

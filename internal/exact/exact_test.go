@@ -1,0 +1,107 @@
+package exact
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+func TestSolveSimpleCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *moldable.Instance
+		want moldable.Time
+	}{
+		{
+			"one sequential job",
+			&moldable.Instance{M: 3, Jobs: []moldable.Job{moldable.Sequential{T: 5}}},
+			5,
+		},
+		{
+			"one perfect job",
+			&moldable.Instance{M: 4, Jobs: []moldable.Job{moldable.PerfectSpeedup{W: 8}}},
+			2,
+		},
+		{
+			"two sequential jobs, one machine",
+			&moldable.Instance{M: 1, Jobs: []moldable.Job{
+				moldable.Sequential{T: 3}, moldable.Sequential{T: 4}}},
+			7,
+		},
+		{
+			"perfect packing",
+			&moldable.Instance{M: 2, Jobs: []moldable.Job{
+				moldable.PerfectSpeedup{W: 4}, moldable.PerfectSpeedup{W: 4}}},
+			4, // W/m = 4; achieved e.g. by each job on one processor
+		},
+	}
+	for _, c := range cases {
+		got, s, err := Solve(c.in, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: OPT = %v, want %v", c.name, got, c.want)
+		}
+		if err := schedule.Validate(c.in, s, schedule.Options{}); err != nil {
+			t.Errorf("%s: invalid optimal schedule: %v", c.name, err)
+		}
+	}
+}
+
+// TestSolveOnPlanted: the exact optimum of a planted instance is the
+// planted optimum.
+func TestSolveOnPlanted(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		pl := moldable.Planted(moldable.PlantedConfig{M: 4, D: 12, Seed: seed, MaxJobs: 5})
+		got, s, err := Solve(pl.Instance, Limits{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got > pl.OPT*(1+1e-9) || got < pl.OPT*(1-1e-9) {
+			t.Errorf("seed %d: exact %v ≠ planted OPT %v", seed, got, pl.OPT)
+		}
+		if err := schedule.Validate(pl.Instance, s, schedule.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSolveNeverBelowLowerBound on random tiny instances.
+func TestSolveNeverBelowLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0))
+	for it := 0; it < 25; it++ {
+		in := moldable.Random(moldable.GenConfig{N: 2 + rng.IntN(4), M: 2 + rng.IntN(4),
+			Seed: rng.Uint64(), MaxWork: 30})
+		opt, s, err := Solve(in, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := in.LowerBound(); opt < lb*(1-1e-9) {
+			t.Fatalf("it %d: OPT %v below lower bound %v", it, opt, lb)
+		}
+		if err := schedule.Validate(in, s, schedule.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolveRespectsLimits(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 20, M: 20, Seed: 1})
+	if _, _, err := Solve(in, Limits{}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestDecision(t *testing.T) {
+	in := &moldable.Instance{M: 1, Jobs: []moldable.Job{
+		moldable.Sequential{T: 3}, moldable.Sequential{T: 4}}}
+	if ok, err := Decision(in, 7, Limits{}); err != nil || !ok {
+		t.Errorf("Decision(7) = %v, %v; want true", ok, err)
+	}
+	if ok, err := Decision(in, 6.9, Limits{}); err != nil || ok {
+		t.Errorf("Decision(6.9) = %v, %v; want false", ok, err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of Jansen &
+// Land (see DESIGN.md §4): Table 1 (running-time scaling of the three
+// (3/2+ε)-dual algorithms), Theorem 2 (FPTAS polylog-in-m scaling),
+// Theorem 3 (approximation quality), Figure 1 (4-Partition reduction
+// schedule), Figures 2–3 (two-shelf vs three-shelf schedules), Figure 4
+// (adaptive normalization grid), and the MRT-vs-fast crossover implied
+// by §4's motivation. All output is plain text written to an io.Writer.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dual"
+	"repro/internal/moldable"
+)
+
+// writeTable prints an aligned text table.
+func writeTable(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// medianTime runs f reps times and returns the median wall-clock time.
+func medianTime(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		start := time.Now()
+		f()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// fitExponent estimates the growth exponent between consecutive
+// (size, time) points: slope of log(time) vs log(size).
+func fitExponent(sizes []float64, times []time.Duration) float64 {
+	if len(sizes) < 2 {
+		return math.NaN()
+	}
+	// least-squares on logs
+	n := float64(len(sizes))
+	var sx, sy, sxx, sxy float64
+	for i := range sizes {
+		x := math.Log(sizes[i])
+		y := math.Log(float64(times[i]) + 1)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// timeDualAt times one Try call at an always-accepted target d = 2ω.
+func timeDualAt(algo dual.Algorithm, d moldable.Time, reps int) (time.Duration, bool) {
+	okAll := true
+	med := medianTime(reps, func() {
+		if _, ok := algo.Try(d); !ok {
+			okAll = false
+		}
+	})
+	return med, okAll
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dual"
+	"repro/internal/fast"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/mrt"
+)
+
+// Table1Config scales the Table-1 reproduction.
+type Table1Config struct {
+	// NSweep: job counts for the n-scaling series (fixed M, Eps).
+	NSweep []int
+	// MSweep: machine counts for the m-scaling series (fixed N, Eps).
+	MSweep []int
+	// EpsSweep: accuracies for the ε-scaling series (fixed N, M).
+	EpsSweep []float64
+	FixedN   int
+	FixedM   int
+	FixedEps float64
+	Reps     int
+	Seed     uint64
+	// IncludeMRT adds the O(nm) baseline series (slow for large m).
+	IncludeMRT bool
+	MRTMaxM    int // skip MRT above this m (default 1<<17)
+}
+
+// DefaultTable1 returns a configuration that finishes in ~30 seconds.
+func DefaultTable1() Table1Config {
+	return Table1Config{
+		NSweep:     []int{256, 512, 1024, 2048, 4096, 8192, 16384},
+		MSweep:     []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20},
+		EpsSweep:   []float64{0.8, 0.4, 0.2, 0.1, 0.05},
+		FixedN:     256,
+		FixedM:     2048,
+		FixedEps:   0.25,
+		Reps:       5,
+		Seed:       42,
+		IncludeMRT: true,
+		MRTMaxM:    1 << 17,
+	}
+}
+
+// dualFor names the three Table-1 algorithms plus the MRT baseline.
+func dualFor(name string, in *moldable.Instance, eps float64) dual.Algorithm {
+	switch name {
+	case "mrt":
+		return &mrt.Dual{In: in}
+	case "§4.2.5":
+		return &fast.Alg1{In: in, Eps: eps}
+	case "§4.3":
+		return &fast.Alg3{In: in, Eps: eps}
+	case "§4.3.3":
+		return &fast.Alg3{In: in, Eps: eps, Buckets: true}
+	}
+	panic("unknown dual " + name)
+}
+
+// Table1 reproduces the paper's Table 1 empirically: per-dual-call
+// running time of the algorithms of §4.2.5, §4.3 and §4.3.3 (plus the
+// O(nm) MRT baseline), swept over n, m, and ε. The paper's claimed
+// shapes: §4.2.5 grows ~quadratically in n but logarithmically in m;
+// §4.3 and §4.3.3 grow ~linearly in n and polylogarithmically in m; MRT
+// grows linearly in m. Each row reports the median time of one Try call
+// at d = 2ω (always accepted, so the full pipeline including the shelf
+// construction is exercised).
+func Table1(w io.Writer, cfg Table1Config) {
+	algos := []string{"§4.2.5", "§4.3", "§4.3.3"}
+	if cfg.IncludeMRT {
+		algos = append([]string{"mrt"}, algos...)
+	}
+
+	fmt.Fprintf(w, "Table 1 reproduction — running times of the (3/2+ε)-dual algorithms\n")
+	fmt.Fprintf(w, "paper bounds:  §4.2.5 O(n(logm + n·log εm))   §4.3 O(n(ε⁻²logm(logm/ε+log³εm)+log n))   §4.3.3 O(n·ε⁻²logm(logm/ε+log³εm))\n")
+
+	// --- series 1: scaling in n ---
+	{
+		rows := make([][]string, 0, len(cfg.NSweep))
+		times := map[string][]time.Duration{}
+		var sizes []float64
+		for _, n := range cfg.NSweep {
+			in := moldable.Random(moldable.GenConfig{N: n, M: cfg.FixedM, Seed: cfg.Seed})
+			omega := lt.Estimate(in).Omega
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, a := range algos {
+				algo := dualFor(a, in, cfg.FixedEps)
+				med, ok := timeDualAt(algo, 2*omega, cfg.Reps)
+				if !ok {
+					row = append(row, "rejected!")
+					continue
+				}
+				times[a] = append(times[a], med)
+				row = append(row, fmtDur(med))
+			}
+			sizes = append(sizes, float64(n))
+			rows = append(rows, row)
+		}
+		exps := []string{"n-exponent"}
+		for _, a := range algos {
+			exps = append(exps, fmt.Sprintf("%.2f", fitExponent(sizes, times[a])))
+		}
+		rows = append(rows, exps)
+		writeTable(w, fmt.Sprintf("scaling in n (m=%d, ε=%g); one dual call", cfg.FixedM, cfg.FixedEps),
+			append([]string{"n"}, algos...), rows)
+	}
+
+	// --- series 2: scaling in m (wall clock AND oracle calls: the call
+	// counts are deterministic, so they expose the polylog-in-m shape
+	// without timer noise) ---
+	{
+		rows := make([][]string, 0, len(cfg.MSweep))
+		callRows := make([][]string, 0, len(cfg.MSweep))
+		times := map[string][]time.Duration{}
+		sizes := map[string][]float64{}
+		for _, m := range cfg.MSweep {
+			base := moldable.Random(moldable.GenConfig{N: cfg.FixedN, M: m, Seed: cfg.Seed})
+			omega := lt.Estimate(base).Omega
+			row := []string{fmt.Sprintf("%d", m)}
+			crow := []string{fmt.Sprintf("%d", m)}
+			for _, a := range algos {
+				if a == "mrt" && cfg.MRTMaxM > 0 && m > cfg.MRTMaxM {
+					row = append(row, "(skipped)")
+					crow = append(crow, "(skipped)")
+					continue
+				}
+				algo := dualFor(a, base, cfg.FixedEps)
+				med, ok := timeDualAt(algo, 2*omega, cfg.Reps)
+				if !ok {
+					row = append(row, "rejected!")
+					crow = append(crow, "rejected!")
+					continue
+				}
+				times[a] = append(times[a], med)
+				sizes[a] = append(sizes[a], float64(m))
+				row = append(row, fmtDur(med))
+				counted, calls := moldable.Instrument(base)
+				dualFor(a, counted, cfg.FixedEps).Try(2 * omega)
+				crow = append(crow, fmt.Sprintf("%d", calls()))
+			}
+			rows = append(rows, row)
+			callRows = append(callRows, crow)
+		}
+		exps := []string{"m-exponent"}
+		for _, a := range algos {
+			exps = append(exps, fmt.Sprintf("%.2f", fitExponent(sizes[a], times[a])))
+		}
+		rows = append(rows, exps)
+		writeTable(w, fmt.Sprintf("scaling in m (n=%d, ε=%g); one dual call", cfg.FixedN, cfg.FixedEps),
+			append([]string{"m"}, algos...), rows)
+		writeTable(w, "oracle calls per dual call (deterministic)",
+			append([]string{"m"}, algos...), callRows)
+		fmt.Fprintf(w, "expected shape: MRT m-exponent ≈ 1 (linear in m); §4.2.5/§4.3/§4.3.3 ≈ 0 (polylog in m)\n")
+	}
+
+	// --- series 3: scaling in 1/ε ---
+	{
+		rows := make([][]string, 0, len(cfg.EpsSweep))
+		in := moldable.Random(moldable.GenConfig{N: cfg.FixedN, M: cfg.FixedM, Seed: cfg.Seed})
+		omega := lt.Estimate(in).Omega
+		for _, eps := range cfg.EpsSweep {
+			row := []string{fmt.Sprintf("%g", eps)}
+			for _, a := range algos {
+				algo := dualFor(a, in, eps)
+				med, ok := timeDualAt(algo, 2*omega, cfg.Reps)
+				if !ok {
+					row = append(row, "rejected!")
+					continue
+				}
+				row = append(row, fmtDur(med))
+			}
+			rows = append(rows, row)
+		}
+		writeTable(w, fmt.Sprintf("scaling in ε (n=%d, m=%d); one dual call", cfg.FixedN, cfg.FixedM),
+			append([]string{"ε"}, algos...), rows)
+	}
+}
+
+// Crossover reports the wall-clock crossover between the MRT baseline
+// and the §4.3.3 linear algorithm as m grows with n fixed — the
+// motivation of §4.2 ("algorithms polynomial in log m outperform those
+// polynomial in m for large m").
+func Crossover(w io.Writer, n int, mSweep []int, eps float64, seed uint64) {
+	if n == 0 {
+		n = 256
+	}
+	if len(mSweep) == 0 {
+		mSweep = []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	}
+	if eps == 0 {
+		eps = 0.25
+	}
+	rows := make([][]string, 0, len(mSweep))
+	crossed := ""
+	for _, m := range mSweep {
+		in := moldable.Random(moldable.GenConfig{N: n, M: m, Seed: seed})
+		omega := lt.Estimate(in).Omega
+		tm, _ := timeDualAt(&mrt.Dual{In: in}, 2*omega, 3)
+		tl, _ := timeDualAt(&fast.Alg3{In: in, Eps: eps, Buckets: true}, 2*omega, 3)
+		ratio := float64(tm) / float64(tl)
+		if crossed == "" && ratio > 1 {
+			crossed = fmt.Sprintf("%d", m)
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", m), fmtDur(tm), fmtDur(tl), fmt.Sprintf("%.2fx", ratio)})
+	}
+	writeTable(w, fmt.Sprintf("MRT (O(nm)) vs §4.3.3 (polylog m) per dual call; n=%d ε=%g", n, eps),
+		[]string{"m", "mrt", "§4.3.3", "mrt/§4.3.3"}, rows)
+	if crossed != "" {
+		fmt.Fprintf(w, "crossover (mrt slower than §4.3.3) at m ≈ %s\n", crossed)
+	} else {
+		fmt.Fprintf(w, "no crossover within the sweep\n")
+	}
+}

@@ -1,0 +1,136 @@
+// Package fast implements the paper's improved (3/2+ε)-dual algorithms:
+//
+//   - Alg1 (§4.2.5): knapsack with compressible items, running time
+//     O(n(log m + n log εm)) per dual call — logarithmic in m.
+//   - Alg3 (§4.3): bounded knapsack over rounded item types,
+//     O(n/ε²·log m(log m/ε + log³ εm) + n log n) per dual call.
+//   - Linear (§4.3.3): Alg3 with bucketed transformation rules, removing
+//     the n log n term — running time linear in n.
+//
+// All three accept a target makespan d and either produce a feasible
+// schedule of makespan ≤ (3/2+ε)d or certify d < OPT; combined with the
+// Ludwig–Tiwari estimator and the dual search they realize Theorem 3.
+package fast
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/dual"
+	"repro/internal/fptas"
+	"repro/internal/knapsack"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+	"repro/internal/shelves"
+)
+
+// Alg1 is the (3/2+ε)-dual algorithm of §4.2.5 based on the knapsack
+// with compressible items (Algorithm 1 + Algorithm 2 of the paper).
+type Alg1 struct {
+	In  *moldable.Instance
+	Eps float64 // ε ∈ (0, 1]
+	// Stats accumulates knapsack cost counters across Try calls.
+	Stats Alg1Stats
+}
+
+// Alg1Stats aggregates per-call diagnostics.
+type Alg1Stats struct {
+	Tries       int
+	PairsComp   int64
+	PairsIncomp int64
+	NumAlphas   int64
+}
+
+// Guarantee returns 3/2·(1+4ρ) = 3/2+ε for ρ = ε/6.
+func (a *Alg1) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
+
+// Try implements one dual round: solve the compressible knapsack at
+// target d with ρ = ε/6, then build the three-shelf schedule at
+// d′ = (1+4ρ)d (Corollary 10). Compression is used only in the analysis:
+// the schedule itself allots γ_j(d′) processors.
+func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
+	a.Stats.Tries++
+	in := a.In
+	rho := a.Eps / 6
+	dprime := (1 + 4*rho) * d
+	part, ok := shelves.Compute(in, d)
+	if !ok {
+		return nil, false
+	}
+	capacity := in.M - part.MandSize()
+	if capacity < 0 {
+		return nil, false
+	}
+	shelf1 := append([]int(nil), part.Mand...)
+	if len(part.Opt) > 0 && capacity > 0 {
+		threshold := compress.Threshold(rho) // compressible ⇔ γ_j(d) ≥ 1/ρ
+		items := make([]knapsack.Item, 0, len(part.Opt))
+		comp := make([]bool, 0, len(part.Opt))
+		var incompTotal float64
+		for _, j := range part.Opt {
+			items = append(items, knapsack.Item{ID: j, Size: part.G1[j], Profit: part.Profit(in, j)})
+			c := part.G1[j] >= threshold
+			comp = append(comp, c)
+			if !c {
+				incompTotal += float64(part.G1[j])
+			}
+		}
+		betaMax := float64(capacity)
+		if incompTotal < betaMax {
+			betaMax = incompTotal
+		}
+		nbar := int(rho*float64(capacity)) + 2
+		sol, err := knapsack.Solve(knapsack.Problem{
+			Items:        items,
+			Compressible: comp,
+			C:            capacity,
+			RhoFull:      rho,
+			AlphaMin:     float64(threshold),
+			BetaMax:      betaMax,
+			NBar:         nbar,
+		})
+		if err != nil {
+			return nil, false
+		}
+		a.Stats.PairsComp += int64(sol.Stats.PairsComp)
+		a.Stats.PairsIncomp += int64(sol.Stats.PairsIncomp)
+		a.Stats.NumAlphas += int64(sol.Stats.NumAlphas)
+		shelf1 = append(shelf1, sol.Selected...)
+	}
+	res, ok := shelves.Build(in, dprime, shelf1, shelves.Options{})
+	if !ok {
+		return nil, false
+	}
+	return res.Schedule, true
+}
+
+// regimeDual picks the knapsack-based dual when m < 16n and the FPTAS
+// dual with ε = 1/2 (a 3/2-dual) when m ≥ 16n, exactly as prescribed at
+// the end of §4.2.5: the knapsack parameter bounds (βmax = m = O(n))
+// need m = O(n), and for larger m the simple FPTAS is both valid and
+// faster.
+func regimeDual(in *moldable.Instance, algo dual.Algorithm) dual.Algorithm {
+	if in.M >= 16*in.N() {
+		return &fptas.Dual{In: in, Eps: 0.5}
+	}
+	return algo
+}
+
+// ScheduleAlg1 runs the complete (3/2+eps)-approximation around Alg1,
+// splitting eps between the dual factor and the binary-search slack.
+func ScheduleAlg1(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, dual.Report{}, err
+	}
+	est := lt.Estimate(in)
+	algo := regimeDual(in, &Alg1{In: in, Eps: eps / 2})
+	return dual.Search(algo, est.Omega, eps/2)
+}
+
+func checkEps(eps float64) error {
+	if eps <= 0 || eps > 1 {
+		return fmt.Errorf("fast: eps=%v must be in (0,1]", eps)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package fourpart implements the 4-Partition problem and the reduction
+// of Jansen & Land §2 (Theorem 1): scheduling monotone moldable jobs
+// with a target makespan is strongly NP-complete, via jobs with
+// processing times t_ji(k) = m·a_i − k + 1, which are strictly monotone.
+package fourpart
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/moldable"
+)
+
+// Instance of 4-Partition: 4n natural numbers and a target B; the
+// question is whether A can be split into n quadruples each summing
+// to B. The problem stays strongly NP-hard when every a_i lies strictly
+// between B/5 and B/3 (then every group of sum B has exactly 4 elements).
+type Instance struct {
+	A []int
+	B int
+}
+
+// N returns the number of quadruples, len(A)/4.
+func (in *Instance) N() int { return len(in.A) / 4 }
+
+// Validate checks the structural requirements of the reduction.
+func (in *Instance) Validate() error {
+	if len(in.A) == 0 || len(in.A)%4 != 0 {
+		return fmt.Errorf("fourpart: |A|=%d is not a positive multiple of 4", len(in.A))
+	}
+	sum := 0
+	for _, a := range in.A {
+		if a <= 0 {
+			return errors.New("fourpart: numbers must be positive")
+		}
+		sum += a
+	}
+	if sum != in.N()*in.B {
+		return fmt.Errorf("fourpart: ΣA=%d ≠ n·B=%d (trivial no-instance)", sum, in.N()*in.B)
+	}
+	return nil
+}
+
+// Solve decides the instance exactly by backtracking: repeatedly take
+// the largest unused number and search for three more completing a
+// quadruple of sum B. Exponential in general; intended for the small
+// instances of the reduction experiments. Returns the groups (indices
+// into A) when solvable.
+func Solve(in *Instance) ([][4]int, bool) {
+	if err := in.Validate(); err != nil {
+		return nil, false
+	}
+	n := in.N()
+	idx := make([]int, len(in.A))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return in.A[idx[x]] > in.A[idx[y]] })
+	used := make([]bool, len(in.A))
+	var groups [][4]int
+	var rec func(done int) bool
+	rec = func(done int) bool {
+		if done == n {
+			return true
+		}
+		// first unused (largest remaining) number anchors the group,
+		// eliminating permutation symmetry between groups
+		first := -1
+		for _, i := range idx {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		target := in.B - in.A[first]
+		// choose three more, positions increasing in the sorted order
+		var pick func(start, left, rem int, chosen *[4]int) bool
+		pick = func(start, left, rem int, chosen *[4]int) bool {
+			if left == 0 {
+				if rem != 0 {
+					return false
+				}
+				chosen[0] = first
+				groups = append(groups, *chosen)
+				if rec(done + 1) {
+					return true
+				}
+				groups = groups[:len(groups)-1]
+				return false
+			}
+			prev := -1 // skip equal values retried at the same position
+			for s := start; s < len(idx); s++ {
+				i := idx[s]
+				if used[i] || in.A[i] > rem || in.A[i] == prev {
+					continue
+				}
+				// prune: the remaining left−1 numbers are each ≤ A[i]
+				// (descending order), so rem−A[i] must be coverable
+				if rem-in.A[i] > (left-1)*in.A[i] {
+					continue
+				}
+				prev = in.A[i]
+				used[i] = true
+				chosen[left] = i
+				if pick(s+1, left-1, rem-in.A[i], chosen) {
+					return true
+				}
+				used[i] = false
+			}
+			return false
+		}
+		var chosen [4]int
+		if pick(0, 3, target, &chosen) {
+			return true
+		}
+		used[first] = false
+		return false
+	}
+	if rec(0) {
+		return groups, true
+	}
+	return nil, false
+}
+
+// ReductionJob is the moldable job of the reduction: t(k) = MA − k + 1
+// with MA = m·a_i. Time is strictly decreasing and work strictly
+// increasing (Eq. 1), so the job is strictly monotone.
+type ReductionJob struct {
+	MA int // m·a_i
+}
+
+// Time returns MA − k + 1.
+func (r ReductionJob) Time(k int) moldable.Time { return moldable.Time(r.MA - k + 1) }
+
+// Reduce builds the scheduling instance of Theorem 1: m = n machines,
+// one job per number with t_ji(k) = m·a_i − k + 1, and target makespan
+// d = n·B. Numbers are scaled so that a_i ≥ 2 (the proof needs
+// m·a_i ≥ 2m). A schedule of makespan ≤ d exists iff the 4-Partition
+// instance is a yes-instance.
+func Reduce(fp *Instance) (*moldable.Instance, moldable.Time, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, 0, err
+	}
+	scale := 1
+	for _, a := range fp.A {
+		if a < 2 { // a_i ≥ 1, so doubling suffices for a_i·scale ≥ 2
+			scale = 2
+			break
+		}
+	}
+	n := fp.N()
+	in := &moldable.Instance{M: n}
+	for _, a := range fp.A {
+		in.Jobs = append(in.Jobs, ReductionJob{MA: n * a * scale})
+	}
+	d := moldable.Time(n * fp.B * scale)
+	return in, d, nil
+}
+
+// YesInstance generates a solvable instance with n quadruples, every
+// number strictly between B/5 and B/3. The construction samples two
+// numbers per quadruple and completes the remaining two to sum B.
+func YesInstance(n int, seed uint64) *Instance {
+	rng := rand.New(rand.NewPCG(seed, 0xa5a5a5a5deadbeef))
+	B := 1000 + 4*rng.IntN(500)
+	lo, hi := B/5+1, B/3-1
+	var A []int
+	for g := 0; g < n; g++ {
+		for {
+			x1 := lo + rng.IntN(hi-lo+1)
+			x2 := lo + rng.IntN(hi-lo+1)
+			rest := B - x1 - x2
+			// need x3 ∈ [max(lo, rest−hi), min(hi, rest−lo)]
+			l3 := max(lo, rest-hi)
+			h3 := min(hi, rest-lo)
+			if l3 > h3 {
+				continue
+			}
+			x3 := l3 + rng.IntN(h3-l3+1)
+			x4 := rest - x3
+			A = append(A, x1, x2, x3, x4)
+			break
+		}
+	}
+	rng.Shuffle(len(A), func(i, j int) { A[i], A[j] = A[j], A[i] })
+	return &Instance{A: A, B: B}
+}
+
+// NoInstance searches for an unsolvable instance with the structural
+// constraints intact (Σ = nB, numbers in (B/5, B/3)), verifying with the
+// exact solver. Returns nil if none is found within the attempt budget
+// (unlikely for n ≥ 2).
+func NoInstance(n int, seed uint64, attempts int) *Instance {
+	rng := rand.New(rand.NewPCG(seed, 0x0123456789abcdef))
+	for a := 0; a < attempts; a++ {
+		inst := YesInstance(n, rng.Uint64())
+		// perturb: move mass between numbers of different quadruples
+		// while keeping the total and the range constraints
+		lo, hi := inst.B/5+1, inst.B/3-1
+		for t := 0; t < 8; t++ {
+			i, j := rng.IntN(len(inst.A)), rng.IntN(len(inst.A))
+			if i == j {
+				continue
+			}
+			if inst.A[i]+1 <= hi && inst.A[j]-1 >= lo {
+				inst.A[i]++
+				inst.A[j]--
+			}
+		}
+		if err := inst.Validate(); err != nil {
+			continue
+		}
+		if _, yes := Solve(inst); !yes {
+			return inst
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package fourpart
+
+import (
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+func TestYesInstanceSolvable(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		for _, n := range []int{1, 2, 3, 5} {
+			inst := YesInstance(n, seed)
+			if err := inst.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			groups, ok := Solve(inst)
+			if !ok {
+				t.Fatalf("n=%d seed=%d: yes-instance not solved", n, seed)
+			}
+			if len(groups) != n {
+				t.Fatalf("n=%d: %d groups", n, len(groups))
+			}
+			used := map[int]bool{}
+			for _, g := range groups {
+				sum := 0
+				for _, i := range g {
+					if used[i] {
+						t.Fatal("index reused across groups")
+					}
+					used[i] = true
+					sum += inst.A[i]
+				}
+				if sum != inst.B {
+					t.Fatalf("group sums to %d, want B=%d", sum, inst.B)
+				}
+			}
+		}
+	}
+}
+
+func TestNoInstanceUnsolvable(t *testing.T) {
+	inst := NoInstance(2, 7, 200)
+	if inst == nil {
+		t.Skip("no no-instance found in budget (extremely unlikely)")
+	}
+	if _, ok := Solve(inst); ok {
+		t.Fatal("NoInstance returned a solvable instance")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (&Instance{A: []int{1, 2, 3}, B: 6}).Validate(); err == nil {
+		t.Error("|A| not multiple of 4 accepted")
+	}
+	if err := (&Instance{A: []int{1, 2, 3, 7}, B: 6}).Validate(); err == nil {
+		t.Error("ΣA ≠ nB accepted")
+	}
+	if err := (&Instance{A: []int{-1, 2, 3, 2}, B: 6}).Validate(); err == nil {
+		t.Error("negative number accepted")
+	}
+}
+
+// TestReductionJobStrictlyMonotone verifies Eq. (1): time strictly
+// decreasing, work strictly increasing.
+func TestReductionJobStrictlyMonotone(t *testing.T) {
+	inst := YesInstance(3, 1)
+	sched, d, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	for ji, j := range sched.Jobs {
+		for k := 1; k < sched.M; k++ {
+			if !(j.Time(k+1) < j.Time(k)) {
+				t.Fatalf("job %d: time not strictly decreasing at k=%d", ji, k)
+			}
+			w1 := moldable.Work(j, k)
+			w2 := moldable.Work(j, k+1)
+			if !(w2 > w1) {
+				t.Fatalf("job %d: work not strictly increasing at k=%d (%v vs %v)", ji, k, w1, w2)
+			}
+		}
+	}
+}
+
+// TestReductionYesDirection: from a 4-Partition solution, the Fig. 1
+// schedule (every job on one processor, each machine one quadruple) is
+// feasible with makespan exactly d.
+func TestReductionYesDirection(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		inst := YesInstance(3, seed)
+		groups, ok := Solve(inst)
+		if !ok {
+			t.Fatal("yes-instance unsolvable")
+		}
+		sin, d, err := Reduce(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := schedule.New(sin.M)
+		for machine, g := range groups {
+			var at moldable.Time
+			for _, i := range g {
+				dur := sin.Jobs[i].Time(1)
+				s.AddAt(i, 1, at, dur, machine)
+				at += dur
+			}
+			if at != d {
+				t.Fatalf("machine %d load %v ≠ d=%v (Fig. 1 structure violated)", machine, at, d)
+			}
+		}
+		if err := schedule.Validate(sin, s, schedule.Options{RequireConcrete: true}); err != nil {
+			t.Fatal(err)
+		}
+		if mk := s.Makespan(); mk != d {
+			t.Fatalf("makespan %v ≠ d = %v", mk, d)
+		}
+	}
+}
+
+// TestReductionNoDirection: for a no-instance, no schedule with makespan
+// ≤ d exists. Argument from the paper: total work at one processor per
+// job is exactly m·d and work strictly grows with processors, so any
+// d-schedule uses exactly one processor per job and fills every machine
+// exactly — i.e. it induces a 4-Partition solution. We verify the work
+// identity and that the solver says no.
+func TestReductionNoDirection(t *testing.T) {
+	inst := NoInstance(2, 3, 300)
+	if inst == nil {
+		t.Skip("no no-instance found")
+	}
+	sin, d, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w moldable.Time
+	for _, j := range sin.Jobs {
+		w += j.Time(1) // work on one processor
+	}
+	if want := moldable.Time(sin.M) * d; w != want {
+		t.Fatalf("Σ w_j(1) = %v ≠ m·d = %v — reduction arithmetic broken", w, want)
+	}
+	if _, ok := Solve(inst); ok {
+		t.Fatal("instance is solvable after all")
+	}
+	// Consistency: the dual algorithms must not find a schedule of
+	// makespan ≤ d either (they could only if one existed).
+	// (3/2-dual accepting d would only prove makespan ≤ 3d/2, so instead
+	// we check the exact all-ones allotment bin-packing equivalence.)
+	if packsIntoMachines(sin, d) {
+		t.Fatal("one-processor packing exists for a no-instance")
+	}
+}
+
+// packsIntoMachines does exact first-fit search: can jobs at one
+// processor each be packed into M machines with load ≤ d?
+func packsIntoMachines(in *moldable.Instance, d moldable.Time) bool {
+	loads := make([]moldable.Time, in.M)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == in.N() {
+			return true
+		}
+		dur := in.Jobs[i].Time(1)
+		seen := map[moldable.Time]bool{}
+		for q := range loads {
+			if loads[q]+dur <= d+1e-9 && !seen[loads[q]] {
+				seen[loads[q]] = true
+				loads[q] += dur
+				if rec(i + 1) {
+					return true
+				}
+				loads[q] -= dur
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestReductionRoundTrip: solving the reduced instance with the MRT dual
+// at d accepts yes-instances (the optimum IS d).
+func TestReductionScaling(t *testing.T) {
+	inst := &Instance{A: []int{1, 1, 1, 1}, B: 4}
+	sin, d, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scaled so a_i ≥ 2: smallest processing time m·a_i ≥ 2m
+	for i, j := range sin.Jobs {
+		if j.Time(1) < moldable.Time(2*sin.M) {
+			t.Errorf("job %d: t(1)=%v < 2m", i, j.Time(1))
+		}
+	}
+	if d != moldable.Time(1*4*2) { // n=1, B=4, scale=2
+		t.Errorf("d = %v, want 8", d)
+	}
+}

@@ -1,0 +1,29 @@
+package gamma
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/moldable"
+)
+
+func BenchmarkGamma(b *testing.B) {
+	for _, m := range []int{1 << 10, 1 << 20, 1 << 30} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			j := moldable.Amdahl{Seq: 1, Par: float64(m)}
+			for i := 0; i < b.N; i++ {
+				Gamma(j, m, 2+float64(i%64))
+			}
+		})
+	}
+}
+
+func BenchmarkPrecompute(b *testing.B) {
+	in := moldable.Random(moldable.GenConfig{N: 1024, M: 1 << 20, Seed: 3})
+	d := in.LowerBound() * 2
+	ths := []moldable.Time{d / 2, d, 1.1 * d, 2.2 * d, 3.3 * d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Precompute(in, ths)
+	}
+}

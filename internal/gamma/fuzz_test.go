@@ -1,0 +1,35 @@
+package gamma
+
+import (
+	"testing"
+
+	"repro/internal/moldable"
+)
+
+// FuzzGammaAmdahl: binary search vs linear scan for arbitrary Amdahl
+// jobs and thresholds.
+func FuzzGammaAmdahl(f *testing.F) {
+	f.Add(1.0, 10.0, 16, 3.0)
+	f.Add(0.0, 100.0, 1000, 0.5)
+	f.Add(5.0, 0.0, 7, 5.0)
+	f.Fuzz(func(t *testing.T, seq, par float64, m int, th float64) {
+		if seq < 0 || par < 0 || seq+par <= 0 || seq > 1e9 || par > 1e9 ||
+			m < 1 || m > 4096 || th <= 0 || th > 1e10 {
+			t.Skip()
+		}
+		j := moldable.Amdahl{Seq: seq, Par: par}
+		g, ok := Gamma(j, m, th)
+		// linear reference
+		wantG, wantOK := 0, false
+		for p := 1; p <= m; p++ {
+			if j.Time(p) <= th {
+				wantG, wantOK = p, true
+				break
+			}
+		}
+		if ok != wantOK || (ok && g != wantG) {
+			t.Fatalf("Gamma(seq=%v par=%v m=%d t=%v) = (%d,%v), linear (%d,%v)",
+				seq, par, m, th, g, ok, wantG, wantOK)
+		}
+	})
+}

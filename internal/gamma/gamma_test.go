@@ -1,0 +1,130 @@
+package gamma
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/moldable"
+)
+
+// gammaLinear is the O(m) reference implementation.
+func gammaLinear(j moldable.Job, m int, t moldable.Time) (int, bool) {
+	for p := 1; p <= m; p++ {
+		if j.Time(p) <= t {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func gammaStrictLinear(j moldable.Job, m int, t moldable.Time) (int, bool) {
+	for p := 1; p <= m; p++ {
+		if j.Time(p) < t {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func TestGammaMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for it := 0; it < 500; it++ {
+		m := 1 + rng.IntN(64)
+		j := moldable.SmallTable(rng, m, 100)
+		// probe thresholds around actual values and in between
+		for k := 0; k < 10; k++ {
+			tt := 100 * rng.Float64()
+			g1, ok1 := Gamma(j, m, tt)
+			g2, ok2 := gammaLinear(j, m, tt)
+			if ok1 != ok2 || g1 != g2 {
+				t.Fatalf("Gamma(m=%d, t=%v) = (%d,%v), linear (%d,%v)", m, tt, g1, ok1, g2, ok2)
+			}
+			s1, sok1 := GammaStrict(j, m, tt)
+			s2, sok2 := gammaStrictLinear(j, m, tt)
+			if sok1 != sok2 || s1 != s2 {
+				t.Fatalf("GammaStrict(m=%d, t=%v) = (%d,%v), linear (%d,%v)", m, tt, s1, sok1, s2, sok2)
+			}
+		}
+		// exact breakpoints are the tricky thresholds
+		for p := 1; p <= m; p++ {
+			tt := j.Time(p)
+			g1, ok1 := Gamma(j, m, tt)
+			g2, ok2 := gammaLinear(j, m, tt)
+			if ok1 != ok2 || g1 != g2 {
+				t.Fatalf("breakpoint Gamma(m=%d, t=t(%d)) = (%d,%v), linear (%d,%v)", m, p, g1, ok1, g2, ok2)
+			}
+		}
+	}
+}
+
+// Property: γ is antitone in the threshold — larger t never needs more
+// processors — and t_j(γ_j(t)) ≤ t always holds.
+func TestGammaProperties(t *testing.T) {
+	f := func(w uint16, aRaw uint8, t1Raw, t2Raw uint16) bool {
+		j := moldable.Power{W: 1 + float64(w), Alpha: float64(aRaw%101) / 100}
+		m := 1 << 16
+		ta := 0.001 + float64(t1Raw)
+		tb := ta + float64(t2Raw)
+		ga, oka := Gamma(j, m, ta)
+		gb, okb := Gamma(j, m, tb)
+		if oka {
+			if j.Time(ga) > ta {
+				return false
+			}
+			if ga > 1 && j.Time(ga-1) <= ta {
+				return false // not minimal
+			}
+		}
+		if oka && okb && gb > ga {
+			return false // antitone violated
+		}
+		if oka && !okb {
+			return false // larger threshold cannot become infeasible
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaUndefined(t *testing.T) {
+	j := moldable.Sequential{T: 10}
+	if _, ok := Gamma(j, 100, 5); ok {
+		t.Error("Gamma defined although t_j(m) > t")
+	}
+	if g, ok := Gamma(j, 100, 10); !ok || g != 1 {
+		t.Errorf("Gamma = (%d,%v), want (1,true)", g, ok)
+	}
+	if _, ok := GammaStrict(j, 100, 10); ok {
+		t.Error("GammaStrict defined although t_j(m) = t (strict)")
+	}
+}
+
+func TestGammaLogarithmicOracleCalls(t *testing.T) {
+	c := &moldable.CountingJob{J: moldable.PerfectSpeedup{W: 1 << 30}}
+	m := 1 << 30
+	_, ok := Gamma(c, m, 1)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	if calls := c.Calls(); calls > 64 {
+		t.Errorf("binary search used %d oracle calls for m=2^30 (want ≤ ~2·log m)", calls)
+	}
+}
+
+func TestPrecompute(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 12, M: 128, Seed: 4})
+	d := in.LowerBound() * 2
+	th := Precompute(in, []moldable.Time{d / 2, d, 1.5 * d})
+	for k, tt := range th.T {
+		for i, j := range in.Jobs {
+			want, wok := Gamma(j, in.M, tt)
+			got, gok := th.At(k, i)
+			if wok != gok || (wok && want != got) {
+				t.Fatalf("threshold %v job %d: precomputed (%d,%v), direct (%d,%v)", tt, i, got, gok, want, wok)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package knapsack
+
+// Item is a 0/1 knapsack item with integer size and non-negative profit.
+// ID is an opaque caller tag (job index, container index, …).
+type Item struct {
+	ID     int
+	Size   int
+	Profit float64
+}
+
+// SolveDense is the classical dense dynamic program: maximize Σ profit
+// subject to Σ size ≤ C. O(n·C) time, n·(C+1) bits plus O(C) words of
+// memory (per-item decision bitsets for backtracking). This is the
+// knapsack the Mounié–Rapine–Trystram baseline runs — the very O(nm)
+// bottleneck §4.2 is designed to avoid.
+//
+// Returns the selected item IDs and the optimal profit.
+func SolveDense(items []Item, C int) ([]int, float64) {
+	if C < 0 {
+		return nil, 0
+	}
+	words := (C + 64) / 64
+	take := make([][]uint64, len(items))
+	dp := make([]float64, C+1)
+	for i, it := range items {
+		row := make([]uint64, words)
+		take[i] = row
+		if it.Profit <= 0 || it.Size > C || it.Size < 0 {
+			continue
+		}
+		for c := C; c >= it.Size; c-- {
+			if v := dp[c-it.Size] + it.Profit; v > dp[c] {
+				dp[c] = v
+				row[c/64] |= 1 << (c % 64)
+			}
+		}
+	}
+	// backtrack
+	best := 0
+	for c := 1; c <= C; c++ {
+		if dp[c] > dp[best] {
+			best = c
+		}
+	}
+	var sel []int
+	c := best
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][c/64]&(1<<(c%64)) != 0 {
+			sel = append(sel, items[i].ID)
+			c -= items[i].Size
+		}
+	}
+	return sel, dp[best]
+}
+
+// SolvePairs solves the same problem with a pair list (no rounding).
+// Useful when C is huge but few distinct sizes occur. Returns selected
+// IDs and profit.
+func SolvePairs(items []Item, C int) ([]int, float64) {
+	l := NewPairList()
+	for idx, it := range items {
+		l.Add(idx, float64(it.Size), it.Profit, float64(C), nil)
+	}
+	profit, node := l.Best(float64(C))
+	var sel []int
+	for _, idx := range l.Backtrack(node) {
+		sel = append(sel, items[idx].ID)
+	}
+	return sel, profit
+}

@@ -1,0 +1,86 @@
+package knapsack
+
+import "math"
+
+// SolveEpsApprox is the classical knapsack FPTAS (Lawler-style profit
+// scaling): profits are rounded down to multiples of K = ε·pmax/n and a
+// min-size-per-profit DP solves the rounded instance exactly, giving
+// profit ≥ (1−ε)·OPT in O(n³/ε).
+//
+// It exists here as the ablation for §4.2's opening observation: this
+// guarantee is NOT good enough for the shelf selection — the knapsack
+// profit can be far larger than the schedule's work budget slack, so
+// losing an ε-fraction of profit can blow the work bound
+// W(J′,d) ≤ md − W_S(d) by an unbounded factor (see
+// fast.TestProfitFPTASIsNotEnough). The paper's Algorithm 2 instead
+// keeps the profit EXACT and approximates the sizes, paying with
+// compression.
+func SolveEpsApprox(items []Item, C int, eps float64) ([]int, float64) {
+	n := len(items)
+	if n == 0 {
+		return nil, 0
+	}
+	pmax := 0.0
+	for _, it := range items {
+		if it.Size <= C && it.Profit > pmax {
+			pmax = it.Profit
+		}
+	}
+	if pmax == 0 {
+		return nil, 0
+	}
+	K := eps * pmax / float64(n)
+	scale := func(p float64) int { return int(math.Floor(p / K)) }
+	maxP := 0
+	for _, it := range items {
+		if it.Size <= C {
+			maxP += scale(it.Profit)
+		}
+	}
+	const inf = math.MaxInt64 / 4
+	// minSize[q] = least total size achieving rounded profit exactly q,
+	// take[i][q] for backtracking.
+	minSize := make([]int64, maxP+1)
+	for q := 1; q <= maxP; q++ {
+		minSize[q] = inf
+	}
+	take := make([][]bool, n)
+	for i, it := range items {
+		row := make([]bool, maxP+1)
+		take[i] = row
+		if it.Size > C || it.Profit <= 0 {
+			continue
+		}
+		sp := scale(it.Profit)
+		if sp == 0 {
+			continue
+		}
+		for q := maxP; q >= sp; q-- {
+			if minSize[q-sp] >= inf {
+				continue
+			}
+			if v := minSize[q-sp] + int64(it.Size); v < minSize[q] {
+				minSize[q] = v
+				row[q] = true
+			}
+		}
+	}
+	best := 0
+	for q := maxP; q > 0; q-- {
+		if minSize[q] <= int64(C) {
+			best = q
+			break
+		}
+	}
+	var sel []int
+	profit := 0.0
+	q := best
+	for i := n - 1; i >= 0 && q > 0; i-- {
+		if take[i][q] {
+			sel = append(sel, items[i].ID)
+			profit += items[i].Profit
+			q -= scale(items[i].Profit)
+		}
+	}
+	return sel, profit
+}

@@ -1,0 +1,76 @@
+// Package knapsack implements the knapsack machinery of Jansen & Land
+// §4.2: Lawler-style pair lists with dominance pruning, a dense dynamic
+// program (the O(nm) baseline of Mounié–Rapine–Trystram), geometric
+// value grids (Definition 13), the adaptive normalization of Lemma 12,
+// the knapsack problem with compressible items (Algorithm 2 /
+// Theorem 15), and the bounded-knapsack container transformation used by
+// Algorithm 3.
+package knapsack
+
+import "math"
+
+// Geom returns the geometric progression of Definition 13:
+// geom(L, U, x) = {L·x^i | i = 0..⌈log_x(U/L)⌉}. The first element is L
+// and the last is the first power ≥ U. Requires 0 < L, L ≤ U, x > 1.
+// By Lemma 14, |geom(L,U,x)| = O(log(U/L)/(x−1)) for 1 < x < 2.
+func Geom(L, U, x float64) []float64 {
+	if !(L > 0) || !(U >= L) || !(x > 1) {
+		return nil
+	}
+	var g []float64
+	v := L
+	for {
+		g = append(g, v)
+		if v >= U {
+			break
+		}
+		v *= x
+	}
+	return g
+}
+
+// RoundDownIdx returns the index of the largest grid element ≤ a, or -1
+// when a is below the first element (gˇr undefined).
+func RoundDownIdx(g []float64, a float64) int {
+	lo, hi := 0, len(g)-1
+	if len(g) == 0 || a < g[0] {
+		return -1
+	}
+	for lo < hi { // invariant: g[lo] ≤ a; find last such index
+		mid := lo + (hi-lo+1)/2
+		if g[mid] <= a {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// RoundDown is gˇr(a, L, U, x) on a precomputed grid: the largest grid
+// value ≤ a. Returns NaN when undefined.
+func RoundDown(g []float64, a float64) float64 {
+	i := RoundDownIdx(g, a)
+	if i < 0 {
+		return math.NaN()
+	}
+	return g[i]
+}
+
+// RoundUp is gˆr: the smallest grid value ≥ a. Returns NaN when a exceeds
+// the last grid value.
+func RoundUp(g []float64, a float64) float64 {
+	if len(g) == 0 || a > g[len(g)-1] {
+		return math.NaN()
+	}
+	lo, hi := 0, len(g)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if g[mid] >= a {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return g[lo]
+}

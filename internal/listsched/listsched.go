@@ -1,0 +1,270 @@
+// Package listsched implements greedy list scheduling for rigid parallel
+// jobs (jobs with a fixed processor allotment), the classical subroutine
+// of Garey & Graham used both by the Ludwig–Tiwari 2-approximation and in
+// the NP-completeness argument of Jansen & Land §2.
+//
+// Greedy keeps the invariant that whenever processors are free, no
+// pending job fits them; with the allotment a minimizing
+// max(W(a)/m, max_j t_j(a_j)) this yields a schedule of makespan at most
+// 2·max(W/m, T) (Jansen & Land §3, [5]).
+package listsched
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// finishHeap is a min-heap of (finish time, procs) for running jobs.
+type finishEvent struct {
+	t     moldable.Time
+	procs int
+}
+
+type finishHeap []finishEvent
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(finishEvent)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Greedy schedules the jobs with the given allotment using widest-fit
+// list scheduling: jobs are considered in order of decreasing processor
+// demand, and at every point in time the widest pending job that fits the
+// free processors is started. Runs in O(n log n).
+//
+// allot[i] must be in [1, in.M] for every job i.
+func Greedy(in *moldable.Instance, allot []int) *schedule.Schedule {
+	n := in.N()
+	s := schedule.New(in.M)
+	if n == 0 {
+		return s
+	}
+	// Jobs sorted by decreasing width. next[] is a union-find-style skip
+	// pointer over started jobs, so "first unstarted job at or after
+	// position i" is near-O(1) amortized.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if allot[order[a]] != allot[order[b]] {
+			return allot[order[a]] > allot[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	widths := make([]int, n) // widths[k] = allot of k-th widest job
+	for k, i := range order {
+		widths[k] = allot[i]
+	}
+	next := make([]int, n+1)
+	for i := range next {
+		next[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if next[i] == i {
+			return i
+		}
+		next[i] = find(next[i])
+		return next[i]
+	}
+	// firstFit returns the position of the widest unstarted job with
+	// width ≤ free, or -1. Positions are sorted by decreasing width, so
+	// candidates form a suffix starting at lo = first pos with width ≤ free.
+	firstFit := func(free int) int {
+		lo := sort.Search(n, func(k int) bool { return widths[k] <= free })
+		if lo >= n {
+			return -1
+		}
+		if p := find(lo); p < n {
+			return p
+		}
+		return -1
+	}
+
+	var running finishHeap
+	now := moldable.Time(0)
+	free := in.M
+	started := 0
+	for started < n {
+		for {
+			pos := firstFit(free)
+			if pos < 0 {
+				break
+			}
+			i := order[pos]
+			next[pos] = pos + 1 // mark started
+			dur := in.Jobs[i].Time(allot[i])
+			s.Add(i, allot[i], now, dur)
+			heap.Push(&running, finishEvent{now + dur, allot[i]})
+			free -= allot[i]
+			started++
+		}
+		if started == n {
+			break
+		}
+		// advance to the next completion
+		ev := heap.Pop(&running).(finishEvent)
+		now = ev.t
+		free += ev.procs
+		for len(running) > 0 && running[0].t == now {
+			ev = heap.Pop(&running).(finishEvent)
+			free += ev.procs
+		}
+	}
+	return s
+}
+
+// InOrder schedules jobs with the given allotment scanning the explicit
+// order with skip-ahead: at every event, the pending list is scanned in
+// order and every fitting job is started. O(n²); used by tests and by the
+// NP-membership argument (guess allotment + order, then list-schedule).
+func InOrder(in *moldable.Instance, allot []int, order []int) *schedule.Schedule {
+	n := in.N()
+	s := schedule.New(in.M)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	startedMask := make([]bool, n)
+	var running finishHeap
+	now := moldable.Time(0)
+	free := in.M
+	started := 0
+	for started < n {
+		progress := true
+		for progress {
+			progress = false
+			for _, i := range order {
+				if startedMask[i] || allot[i] > free {
+					continue
+				}
+				dur := in.Jobs[i].Time(allot[i])
+				s.Add(i, allot[i], now, dur)
+				heap.Push(&running, finishEvent{now + dur, allot[i]})
+				free -= allot[i]
+				startedMask[i] = true
+				started++
+				progress = true
+			}
+		}
+		if started == n {
+			break
+		}
+		ev := heap.Pop(&running).(finishEvent)
+		now = ev.t
+		free += ev.procs
+		for len(running) > 0 && running[0].t == now {
+			ev = heap.Pop(&running).(finishEvent)
+			free += ev.procs
+		}
+	}
+	return s
+}
+
+// Insertion places each job, strictly in the given order, at the
+// earliest time at which its allotment fits for its entire duration
+// given the jobs placed so far — gaps left by earlier placements may be
+// filled. This discipline satisfies the exchange property that certify
+// and the exact solver rely on: replaying any feasible schedule's jobs
+// in order of their start times starts every job no later than the
+// reference schedule did, hence never increases the makespan. (The
+// skip-ahead variants above do NOT have this property: they may start
+// later list entries early and block a witnessed start.)
+//
+// O(n²) after sorting events per placement; intended for certificates
+// and exact search, not for the approximation hot paths.
+func Insertion(in *moldable.Instance, allot []int, order []int) *schedule.Schedule {
+	n := in.N()
+	s := schedule.New(in.M)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	type iv struct {
+		start, end moldable.Time
+		procs      int
+	}
+	var placed []iv
+	for _, j := range order {
+		dur := in.Jobs[j].Time(allot[j])
+		need := allot[j]
+		// candidate starts: time 0 and every placed end
+		cands := []moldable.Time{0}
+		for _, p := range placed {
+			cands = append(cands, p.end)
+		}
+		sort.Float64s(cands)
+		best := moldable.Time(-1)
+		for _, t := range cands {
+			if best >= 0 && t >= best {
+				break
+			}
+			// peak usage over [t, t+dur) via an event sweep restricted
+			// to the window
+			ok := true
+			usage := 0
+			type ev struct {
+				t     moldable.Time
+				delta int
+			}
+			var evs []ev
+			for _, p := range placed {
+				if p.end <= t || p.start >= t+dur {
+					continue
+				}
+				st := p.start
+				if st < t {
+					st = t
+				}
+				evs = append(evs, ev{st, p.procs}, ev{p.end, -p.procs})
+			}
+			sort.Slice(evs, func(a, b int) bool {
+				if evs[a].t != evs[b].t {
+					return evs[a].t < evs[b].t
+				}
+				return evs[a].delta < evs[b].delta
+			})
+			for _, e := range evs {
+				if e.t >= t+dur {
+					break
+				}
+				usage += e.delta
+				if usage+need > in.M {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = t
+				break
+			}
+		}
+		if best < 0 { // cannot happen: the empty tail is always feasible
+			last := moldable.Time(0)
+			for _, p := range placed {
+				if p.end > last {
+					last = p.end
+				}
+			}
+			best = last
+		}
+		s.Add(j, need, best, dur)
+		placed = append(placed, iv{best, best + dur, need})
+	}
+	return s
+}

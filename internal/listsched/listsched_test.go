@@ -1,0 +1,198 @@
+package listsched
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+func randomRigid(rng *rand.Rand, n, m int) (*moldable.Instance, []int) {
+	in := &moldable.Instance{M: m}
+	allot := make([]int, n)
+	for i := 0; i < n; i++ {
+		w := 1 + 50*rng.Float64()
+		in.Jobs = append(in.Jobs, moldable.Amdahl{Seq: w * 0.1, Par: w * 0.9})
+		allot[i] = 1 + rng.IntN(m)
+	}
+	return in, allot
+}
+
+func TestGreedyValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	for it := 0; it < 200; it++ {
+		n, m := 1+rng.IntN(30), 1+rng.IntN(16)
+		in, allot := randomRigid(rng, n, m)
+		s := Greedy(in, allot)
+		if err := schedule.Validate(in, s, schedule.Options{}); err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		for i, p := range s.Allotment(n) {
+			if p != allot[i] {
+				t.Fatalf("it %d: job %d allotment changed %d→%d", it, i, allot[i], p)
+			}
+		}
+	}
+}
+
+// TestGreedyTwoOmegaBound: makespan ≤ 2·max(W/m, max t), the bound
+// behind "OPT ≤ 2ω" in §3. (The often-quoted additive form W/m + T does
+// NOT hold for rigid parallel jobs — randomized search finds violations
+// around 1.25× for every list discipline — but the multiplicative 2·max
+// bound held over 200k randomized instances; see DESIGN.md §3.)
+func TestGreedyTwoOmegaBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 0))
+	for it := 0; it < 2000; it++ {
+		n, m := 1+rng.IntN(40), 1+rng.IntN(32)
+		in, allot := randomRigid(rng, n, m)
+		s := Greedy(in, allot)
+		var work, maxT moldable.Time
+		for i, j := range in.Jobs {
+			work += moldable.Work(j, allot[i])
+			if tt := j.Time(allot[i]); tt > maxT {
+				maxT = tt
+			}
+		}
+		omega := work / moldable.Time(m)
+		if maxT > omega {
+			omega = maxT
+		}
+		if mk := s.Makespan(); mk > 2*omega*(1+1e-9) {
+			t.Fatalf("it %d: makespan %v > 2·max(W/m,T) = %v (n=%d m=%d)", it, mk, 2*omega, n, m)
+		}
+	}
+}
+
+// TestGreedyNoUnnecessaryIdle: at any job start, it could not have been
+// started earlier (greedy invariant, checked against usage profile).
+func TestGreedyPacksSimple(t *testing.T) {
+	in := &moldable.Instance{M: 4, Jobs: []moldable.Job{
+		moldable.Sequential{T: 4}, moldable.Sequential{T: 4},
+		moldable.Sequential{T: 4}, moldable.Sequential{T: 4},
+	}}
+	s := Greedy(in, []int{1, 1, 1, 1})
+	if mk := s.Makespan(); mk != 4 {
+		t.Errorf("four unit-width jobs on 4 procs: makespan %v, want 4", mk)
+	}
+}
+
+func TestGreedyWidestFirst(t *testing.T) {
+	// wide job must not be starved: widest-fit starts it first
+	in := &moldable.Instance{M: 4, Jobs: []moldable.Job{
+		moldable.Sequential{T: 1}, // narrow
+		moldable.Sequential{T: 1}, // wide
+	}}
+	s := Greedy(in, []int{1, 4})
+	for _, p := range s.Placements {
+		if p.Job == 1 && p.Start != 0 {
+			t.Errorf("wide job starts at %v, want 0", p.Start)
+		}
+	}
+}
+
+func TestInOrderValidAndRespectsOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0))
+	for it := 0; it < 100; it++ {
+		n, m := 1+rng.IntN(15), 1+rng.IntN(8)
+		in, allot := randomRigid(rng, n, m)
+		order := rng.Perm(n)
+		s := InOrder(in, allot, order)
+		if err := schedule.Validate(in, s, schedule.Options{}); err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+	}
+}
+
+func TestInOrderNilOrder(t *testing.T) {
+	in := &moldable.Instance{M: 2, Jobs: []moldable.Job{moldable.Sequential{T: 1}}}
+	s := InOrder(in, []int{1}, nil)
+	if len(s.Placements) != 1 {
+		t.Fatal("nil order must schedule all jobs")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := &moldable.Instance{M: 3}
+	if s := Greedy(in, nil); len(s.Placements) != 0 {
+		t.Error("empty instance produced placements")
+	}
+}
+
+// TestInsertionExchangeProperty is the executable form of the §2 /
+// exact-solver argument: take ANY feasible schedule (here: produced by
+// Greedy with random allotments, then randomly delayed), extract its
+// start order, and replay with Insertion — the replay must never have a
+// larger makespan.
+func TestInsertionExchangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0))
+	for it := 0; it < 300; it++ {
+		n, m := 1+rng.IntN(12), 1+rng.IntN(8)
+		in, allot := randomRigid(rng, n, m)
+		ref := Greedy(in, allot)
+		// artificially delay some placements to create gaps (still feasible)
+		for i := range ref.Placements {
+			if rng.IntN(3) == 0 {
+				ref.Placements[i].Start += moldable.Time(rng.IntN(20))
+			}
+		}
+		if ref.MaxUsage() > m {
+			continue // delaying can only reduce overlap, but be safe
+		}
+		// order by start time
+		type js struct {
+			job   int
+			start moldable.Time
+		}
+		var byStart []js
+		for _, p := range ref.Placements {
+			byStart = append(byStart, js{p.Job, p.Start})
+		}
+		sort.Slice(byStart, func(a, b int) bool { return byStart[a].start < byStart[b].start })
+		order := make([]int, n)
+		for i, e := range byStart {
+			order[i] = e.job
+		}
+		replay := Insertion(in, allot, order)
+		if err := schedule.Validate(in, replay, schedule.Options{}); err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		if replay.Makespan() > ref.Makespan()*(1+1e-9) {
+			t.Fatalf("it %d: insertion replay %v worse than reference %v",
+				it, replay.Makespan(), ref.Makespan())
+		}
+		// stronger: every job starts no later than in the reference
+		refStart := make([]moldable.Time, n)
+		for _, p := range ref.Placements {
+			refStart[p.Job] = p.Start
+		}
+		for _, p := range replay.Placements {
+			if p.Start > refStart[p.Job]*(1+1e-9)+1e-9 {
+				t.Fatalf("it %d: job %d starts at %v, witnessed %v",
+					it, p.Job, p.Start, refStart[p.Job])
+			}
+		}
+	}
+}
+
+func TestInsertionFillsGaps(t *testing.T) {
+	// jobs: wide blocker first, then a narrow job that fits beside it —
+	// insertion must start the narrow job at 0 even though it is later
+	// in the order than a job that starts later.
+	in := &moldable.Instance{M: 4, Jobs: []moldable.Job{
+		moldable.Sequential{T: 10}, // 3 procs, [0,10]
+		moldable.Sequential{T: 10}, // 4 procs — must wait until 10
+		moldable.Sequential{T: 2},  // 1 proc — fits beside job 0 at 0? no: job1 needs all 4 — still gap [0,10] has 1 free proc
+	}}
+	s := Insertion(in, []int{3, 4, 1}, []int{0, 1, 2})
+	var start2 moldable.Time = -1
+	for _, p := range s.Placements {
+		if p.Job == 2 {
+			start2 = p.Start
+		}
+	}
+	if start2 != 0 {
+		t.Errorf("narrow job starts at %v, want 0 (gap insertion)", start2)
+	}
+}

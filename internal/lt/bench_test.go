@@ -1,0 +1,39 @@
+package lt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/moldable"
+)
+
+// The estimator is the O(n log²m) outer scaffold of every algorithm in
+// the paper; confirm its polylog-in-m cost directly.
+func BenchmarkEstimate(b *testing.B) {
+	for _, m := range []int{1 << 10, 1 << 16, 1 << 22, 1 << 30} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			in := moldable.Random(moldable.GenConfig{N: 128, M: m, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Estimate(in)
+			}
+		})
+	}
+	for _, n := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := moldable.Random(moldable.GenConfig{N: n, M: 1 << 16, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Estimate(in)
+			}
+		})
+	}
+}
+
+func BenchmarkTwoApprox(b *testing.B) {
+	in := moldable.Random(moldable.GenConfig{N: 1024, M: 1 << 16, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoApprox(in)
+	}
+}

@@ -1,0 +1,317 @@
+// Package lt implements the Ludwig–Tiwari estimation algorithm for
+// monotone moldable jobs (§3 of Jansen & Land, citing [18]): it computes
+// an allotment minimizing ω(a) = max(W(a)/m, max_j t_j(a_j)) over all
+// allotments, in time polylogarithmic in m. ω satisfies ω ≤ OPT ≤ 2ω;
+// list scheduling the canonical allotment yields the classical
+// 2-approximation.
+//
+// Note: Eq. (2) of the paper prints ω with "min" instead of "max"; as
+// written OPT ≤ 2ω fails (a single job with no speedup gives
+// min(W/m, t) ≪ OPT). Ludwig & Tiwari's estimator uses max, which we
+// implement; see DESIGN.md §3.
+//
+// Algorithm: for monotone jobs the minimizing allotment can be assumed
+// canonical, a_j = γ_j(τ) for some threshold τ, and the objective
+// f(τ) = max(W(τ)/m, T(τ)) only changes at breakpoints τ = t_j(p). W is
+// non-increasing and T non-decreasing in τ, so f is minimized at v̂, the
+// least breakpoint where W/m ≤ T, or at its predecessor. v̂ is found by a
+// Frederickson–Johnson style matrix search over the n implicit sorted
+// breakpoint lists (one per job, indexed by processor count), using
+// O(log nm) weighted-median rounds of O(n log m) oracle work each.
+package lt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/gamma"
+	"repro/internal/listsched"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Result of the estimation.
+type Result struct {
+	Omega  moldable.Time // ω: ω ≤ OPT ≤ 2ω
+	VStar  moldable.Time // threshold whose canonical allotment attains ω
+	Allot  []int         // a_j = γ_j(VStar)
+	Rounds int           // matrix-search rounds (diagnostics)
+}
+
+// evalResult is f(v) = max(W(v)/m, T(v)) split into parts.
+type evalResult struct {
+	w, t     moldable.Time
+	feasible bool
+}
+
+func (e evalResult) f(m int) moldable.Time {
+	if !e.feasible {
+		return math.Inf(1)
+	}
+	return math.Max(e.w/moldable.Time(m), e.t)
+}
+
+func evaluate(in *moldable.Instance, v moldable.Time) evalResult {
+	var res evalResult
+	res.feasible = true
+	for _, j := range in.Jobs {
+		g, ok := gamma.Gamma(j, in.M, v)
+		if !ok {
+			return evalResult{feasible: false}
+		}
+		tg := j.Time(g)
+		res.w += moldable.Time(g) * tg
+		if tg > res.t {
+			res.t = tg
+		}
+	}
+	return res
+}
+
+// pred reports whether W(v)/m ≤ T(v) at a feasible v — the flip predicate
+// of the matrix search. Infeasible v (some γ undefined) report false, so
+// the predicate stays monotone in v.
+func pred(in *moldable.Instance, v moldable.Time) bool {
+	e := evaluate(in, v)
+	return e.feasible && e.w/moldable.Time(in.M) <= e.t
+}
+
+// tuple is a breakpoint with a global tie-break order so that all
+// candidate tuples are distinct: value ascending, then job ascending,
+// then processor count DEscending (within a plateau of equal times,
+// larger processor counts compare smaller, which keeps per-job keep-sets
+// contiguous).
+type tuple struct {
+	v moldable.Time
+	j int
+	p int
+}
+
+func tupleLess(a, b tuple) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	if a.j != b.j {
+		return a.j < b.j
+	}
+	return a.p > b.p
+}
+
+// Estimate computes ω and the canonical allotment attaining it.
+func Estimate(in *moldable.Instance) Result {
+	n, m := in.N(), in.M
+	// vmax = max_j t_j(1) is the largest breakpoint; it is always
+	// feasible. If even vmax has W/m > T, no breakpoint flips the
+	// predicate and f is minimized at vmax.
+	vmax := moldable.Time(0)
+	for _, j := range in.Jobs {
+		if t := j.Time(1); t > vmax {
+			vmax = t
+		}
+	}
+	if !pred(in, vmax) {
+		return finalize(in, vmax, math.Inf(1), 0)
+	}
+
+	// Per-job active interval [a_i, b_i] of processor counts whose
+	// breakpoints may still be v̂ (the least breakpoint satisfying pred).
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i], b[i] = 1, m
+	}
+	total := int64(n) * int64(m)
+	rounds := 0
+	type wtuple struct {
+		tuple
+		w int64
+	}
+	med := make([]wtuple, 0, n)
+	for total > int64(4*n) && rounds < 300 {
+		rounds++
+		med = med[:0]
+		var sum int64
+		for i := 0; i < n; i++ {
+			if a[i] > b[i] {
+				continue
+			}
+			pm := a[i] + (b[i]-a[i])/2
+			w := int64(b[i] - a[i] + 1)
+			med = append(med, wtuple{tuple{in.Jobs[i].Time(pm), i, pm}, w})
+			sum += w
+		}
+		if len(med) == 0 {
+			break
+		}
+		sort.Slice(med, func(x, y int) bool { return tupleLess(med[x].tuple, med[y].tuple) })
+		var cum int64
+		var tmed tuple
+		for _, wt := range med {
+			cum += wt.w
+			if cum*2 >= sum {
+				tmed = wt.tuple
+				break
+			}
+		}
+		if pred(in, tmed.v) {
+			// v̂ ≤ tmed: keep tuples ≤ tmed. Keep-sets are suffixes [x, m].
+			for i := 0; i < n; i++ {
+				if a[i] > b[i] {
+					continue
+				}
+				var x int
+				switch {
+				case i == tmed.j:
+					x = tmed.p
+				case i < tmed.j:
+					g0, ok := gamma.Gamma(in.Jobs[i], m, tmed.v)
+					if !ok {
+						x = m + 1
+					} else {
+						x = g0
+					}
+				default:
+					g1, ok := gamma.GammaStrict(in.Jobs[i], m, tmed.v)
+					if !ok {
+						x = m + 1
+					} else {
+						x = g1
+					}
+				}
+				if x > a[i] {
+					a[i] = x
+				}
+			}
+		} else {
+			// v̂ > tmed: keep tuples > tmed. Keep-sets are prefixes [1, y].
+			for i := 0; i < n; i++ {
+				if a[i] > b[i] {
+					continue
+				}
+				var y int
+				switch {
+				case i == tmed.j:
+					y = tmed.p - 1
+				case i < tmed.j:
+					g0, ok := gamma.Gamma(in.Jobs[i], m, tmed.v)
+					if !ok {
+						y = b[i]
+					} else {
+						y = g0 - 1
+					}
+				default:
+					g1, ok := gamma.GammaStrict(in.Jobs[i], m, tmed.v)
+					if !ok {
+						y = b[i]
+					} else {
+						y = g1 - 1
+					}
+				}
+				if y < b[i] {
+					b[i] = y
+				}
+			}
+		}
+		total = 0
+		for i := 0; i < n; i++ {
+			if a[i] <= b[i] {
+				total += int64(b[i] - a[i] + 1)
+			}
+		}
+	}
+
+	// Collect the surviving candidate values and binary search the least
+	// one satisfying the predicate. v̂ is guaranteed to have survived.
+	values := make([]moldable.Time, 0, total)
+	for i := 0; i < n; i++ {
+		for p := a[i]; p <= b[i]; p++ {
+			values = append(values, in.Jobs[i].Time(p))
+		}
+	}
+	values = append(values, vmax) // safety: pred(vmax) holds
+	sort.Float64s(values)
+	values = dedupe(values)
+	lo, hi := 0, len(values)-1 // invariant: pred(values[hi]) true
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if pred(in, values[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	vhat := values[hi]
+
+	// Predecessor: the largest breakpoint strictly below v̂ across all
+	// jobs (the minimum of f may be there, where f = W/m).
+	predv := math.Inf(-1)
+	for _, j := range in.Jobs {
+		if g, ok := gamma.GammaStrict(j, m, vhat); ok {
+			if t := j.Time(g); t > predv {
+				predv = t
+			}
+		}
+	}
+	return finalize(in, vhat, predv, rounds)
+}
+
+func finalize(in *moldable.Instance, vhat, predv moldable.Time, rounds int) Result {
+	fh := evaluate(in, vhat).f(in.M)
+	vstar, omega := vhat, fh
+	if !math.IsInf(predv, 0) {
+		if fp := evaluate(in, predv).f(in.M); fp < omega {
+			vstar, omega = predv, fp
+		}
+	}
+	allot := make([]int, in.N())
+	for i, j := range in.Jobs {
+		g, _ := gamma.Gamma(j, in.M, vstar)
+		allot[i] = g
+	}
+	return Result{Omega: omega, VStar: vstar, Allot: allot, Rounds: rounds}
+}
+
+func dedupe(v []moldable.Time) []moldable.Time {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// EstimateBrute enumerates every breakpoint t_j(p) and minimizes f
+// directly. O(nm·n log m); for tests on small instances only.
+func EstimateBrute(in *moldable.Instance) Result {
+	var values []moldable.Time
+	for _, j := range in.Jobs {
+		for p := 1; p <= in.M; p++ {
+			values = append(values, j.Time(p))
+		}
+	}
+	sort.Float64s(values)
+	values = dedupe(values)
+	best := Result{Omega: math.Inf(1)}
+	for _, v := range values {
+		if f := evaluate(in, v).f(in.M); f < best.Omega {
+			best.Omega = f
+			best.VStar = v
+		}
+	}
+	allot := make([]int, in.N())
+	for i, j := range in.Jobs {
+		g, _ := gamma.Gamma(j, in.M, best.VStar)
+		allot[i] = g
+	}
+	best.Allot = allot
+	return best
+}
+
+// TwoApprox is the classical 2-approximation: estimate, then list
+// schedule the canonical allotment. The resulting makespan is at most
+// W/m + T ≤ 2ω ≤ 2·OPT.
+func TwoApprox(in *moldable.Instance) (*schedule.Schedule, Result) {
+	res := Estimate(in)
+	return listsched.Greedy(in, res.Allot), res
+}

@@ -1,0 +1,54 @@
+package moldable
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMonotoneTable: MonotoneTable must yield a monotone job for ANY
+// positive finite input times.
+func FuzzMonotoneTable(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(10.0, 1.0, 10.0, 1.0)
+	f.Add(5.0, 5.0, 5.0, 5.0)
+	f.Add(0.001, 1e9, 0.5, 42.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if !(v > 0) || math.IsInf(v, 0) || v > 1e12 {
+				t.Skip()
+			}
+		}
+		tb := MonotoneTable([]Time{a, b, c, d})
+		if err := CheckMonotone(tb, 4, 0); err != nil {
+			t.Fatalf("MonotoneTable(%v %v %v %v) not monotone: %v", a, b, c, d, err)
+		}
+		// the first entry must be preserved exactly
+		if tb.T[0] != a {
+			t.Fatalf("t(1) changed: %v -> %v", a, tb.T[0])
+		}
+	})
+}
+
+// FuzzCommMinimizer: the closed-form Comm.Time must equal the brute
+// force min over q for arbitrary parameters.
+func FuzzCommMinimizer(f *testing.F) {
+	f.Add(10.0, 0.1, 8)
+	f.Add(1000.0, 0.0, 100)
+	f.Add(1.0, 5.0, 3)
+	f.Fuzz(func(t *testing.T, w, c float64, p int) {
+		if !(w > 0) || w > 1e9 || c < 0 || c > 1e6 || p < 1 || p > 2000 {
+			t.Skip()
+		}
+		j := Comm{W: w, C: c}
+		got := j.Time(p)
+		want := math.Inf(1)
+		for q := 1; q <= p; q++ {
+			if v := w/Time(q) + c*Time(q-1); v < want {
+				want = v
+			}
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("Comm{%v,%v}.Time(%d) = %v, brute %v", w, c, p, got, want)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package moldable
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Generators for synthetic workloads. All generators are deterministic
+// for a fixed seed (they use math/rand/v2 PCG sources), so tests and
+// benchmarks are reproducible.
+
+// GenConfig controls the random workload mix.
+type GenConfig struct {
+	N    int    // number of jobs
+	M    int    // number of processors
+	Seed uint64 // PRNG seed
+	// Mix weights; they need not sum to one. A zero GenConfig mix means
+	// the default blend of all families.
+	Amdahl, Power, Comm, Sequential, Perfect float64
+	// MinWork/MaxWork bound the one-processor processing time t(1).
+	MinWork, MaxWork Time
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Amdahl+c.Power+c.Comm+c.Sequential+c.Perfect == 0 {
+		c.Amdahl, c.Power, c.Comm, c.Sequential, c.Perfect = 4, 3, 2, 1, 2
+	}
+	if c.MinWork <= 0 {
+		c.MinWork = 1
+	}
+	if c.MaxWork <= c.MinWork {
+		c.MaxWork = c.MinWork * 1000
+	}
+	return c
+}
+
+// Random generates a mixed workload with n jobs on m processors.
+// Job sizes t(1) are log-uniform in [MinWork, MaxWork], which yields the
+// heavy-tailed size distributions typical of HPC traces.
+func Random(cfg GenConfig) *Instance {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+	jobs := make([]Job, cfg.N)
+	total := cfg.Amdahl + cfg.Power + cfg.Comm + cfg.Sequential + cfg.Perfect
+	logUniform := func() Time {
+		lo, hi := cfg.MinWork, cfg.MaxWork
+		u := rng.Float64()
+		return lo * math.Pow(hi/lo, u)
+	}
+	for i := range jobs {
+		w := logUniform()
+		x := rng.Float64() * total
+		switch {
+		case x < cfg.Amdahl:
+			f := 0.02 + 0.3*rng.Float64() // sequential fraction 2%–32%
+			jobs[i] = Amdahl{Seq: w * f, Par: w * (1 - f)}
+		case x < cfg.Amdahl+cfg.Power:
+			jobs[i] = Power{W: w, Alpha: 0.5 + 0.5*rng.Float64()}
+		case x < cfg.Amdahl+cfg.Power+cfg.Comm:
+			jobs[i] = Comm{W: w, C: w * (0.0001 + 0.01*rng.Float64())}
+		case x < cfg.Amdahl+cfg.Power+cfg.Comm+cfg.Sequential:
+			jobs[i] = Sequential{T: w}
+		default:
+			jobs[i] = PerfectSpeedup{W: w}
+		}
+	}
+	return &Instance{M: cfg.M, Jobs: jobs}
+}
+
+// Planted generates an instance with a KNOWN optimal makespan.
+//
+// Construction: fill the m×d* time-processor rectangle exactly with
+// axis-aligned job rectangles (a random shelf partition), then give every
+// job perfect speedup with work equal to its rectangle area. Because
+// perfect-speedup jobs have constant work, the total work is exactly
+// m·d*, so every schedule has makespan ≥ W/m = d*, and the planted
+// packing achieves d*. Hence OPT = d* exactly.
+type PlantedConfig struct {
+	M       int    // processors
+	D       Time   // planted optimal makespan, > 0
+	Seed    uint64 // PRNG seed
+	MaxJobs int    // stop splitting when this many jobs exist (≥ 1)
+	// MinFrac bounds how small a shelf/column split may be, as a fraction
+	// of the remaining rectangle (default 0.2).
+	MinFrac float64
+}
+
+// PlantedResult carries the generated instance, the planted optimum, and
+// the planted allotment/starts certifying it.
+type PlantedResult struct {
+	Instance *Instance
+	OPT      Time
+	Allot    []int  // processors per job in the certifying schedule
+	Start    []Time // start times in the certifying schedule
+}
+
+// Planted builds a planted-optimum instance. It recursively splits the
+// m×D rectangle: horizontally into shelves (time intervals spanning a
+// processor block) and vertically into processor blocks, stopping at
+// MaxJobs rectangles. Each rectangle (k processors × h time) becomes a
+// PerfectSpeedup job with work k·h.
+func Planted(cfg PlantedConfig) *PlantedResult {
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = 1
+	}
+	if cfg.MinFrac <= 0 || cfg.MinFrac >= 0.5 {
+		cfg.MinFrac = 0.2
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x853c49e6748fea9b))
+	type rect struct {
+		procs int  // processor count
+		h     Time // height (duration)
+		start Time // start time
+	}
+	rects := []rect{{procs: cfg.M, h: cfg.D, start: 0}}
+	// Repeatedly split the rectangle with the largest area until we have
+	// MaxJobs rectangles or nothing is splittable.
+	for len(rects) < cfg.MaxJobs {
+		// pick the largest-area splittable rect
+		best, bestArea := -1, Time(0)
+		for i, r := range rects {
+			if r.procs < 2 && r.h <= 0 {
+				continue
+			}
+			if a := Time(r.procs) * r.h; a > bestArea {
+				best, bestArea = i, a
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := rects[best]
+		splitProcs := r.procs >= 2 && (rng.IntN(2) == 0 || r.h <= 0)
+		if splitProcs {
+			lo := int(float64(r.procs) * cfg.MinFrac)
+			if lo < 1 {
+				lo = 1
+			}
+			hi := r.procs - lo
+			if hi < lo {
+				// too small to split by processors; try time instead
+				splitProcs = false
+			} else {
+				k := lo + rng.IntN(hi-lo+1)
+				rects[best] = rect{procs: k, h: r.h, start: r.start}
+				rects = append(rects, rect{procs: r.procs - k, h: r.h, start: r.start})
+				continue
+			}
+		}
+		if !splitProcs {
+			if r.h <= 0 {
+				break
+			}
+			f := cfg.MinFrac + rng.Float64()*(1-2*cfg.MinFrac)
+			h1 := r.h * Time(f)
+			rects[best] = rect{procs: r.procs, h: h1, start: r.start}
+			rects = append(rects, rect{procs: r.procs, h: r.h - h1, start: r.start + h1})
+		}
+	}
+	res := &PlantedResult{
+		Instance: &Instance{M: cfg.M},
+		OPT:      cfg.D,
+		Allot:    make([]int, len(rects)),
+		Start:    make([]Time, len(rects)),
+	}
+	for i, r := range rects {
+		res.Instance.Jobs = append(res.Instance.Jobs, PerfectSpeedup{W: Time(r.procs) * r.h})
+		res.Allot[i] = r.procs
+		res.Start[i] = r.start
+	}
+	return res
+}
+
+// SmallTable generates a random monotone table job with explicit times
+// for m processors, for exhaustive tests on small m.
+func SmallTable(rng *rand.Rand, m int, maxT Time) Table {
+	raw := make([]Time, m)
+	t := maxT * (0.2 + 0.8*rng.Float64())
+	for k := range raw {
+		raw[k] = t
+		// decay by a random factor ≥ job-dependent floor
+		t *= 0.5 + 0.5*rng.Float64()
+	}
+	return MonotoneTable(raw)
+}
+
+// Describe returns a short human-readable summary of the instance.
+func Describe(in *Instance) string {
+	return fmt.Sprintf("instance{n=%d, m=%d, W1=%.4g, LB=%.4g}",
+		in.N(), in.M, in.MinTotalWork(), in.LowerBound())
+}

@@ -1,0 +1,134 @@
+package moldable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON wire format for instances, used by the cmd/ tools. Closed-form job
+// families serialize as their parameters (compact encoding!); table jobs
+// serialize their full time list.
+
+type jobJSON struct {
+	Type  string  `json:"type"`
+	Seq   Time    `json:"seq,omitempty"`
+	Par   Time    `json:"par,omitempty"`
+	W     Time    `json:"w,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	C     Time    `json:"c,omitempty"`
+	T     Time    `json:"t,omitempty"`
+	Times []Time  `json:"times,omitempty"`
+	Max   int     `json:"max,omitempty"`
+}
+
+type instanceJSON struct {
+	M    int       `json:"m"`
+	Jobs []jobJSON `json:"jobs"`
+}
+
+// MarshalInstance encodes the instance as JSON. Wrapped jobs (Scaled,
+// Capped, CountingJob) are flattened where possible; unknown job types
+// are rejected.
+func MarshalInstance(in *Instance) ([]byte, error) {
+	out := instanceJSON{M: in.M, Jobs: make([]jobJSON, 0, in.N())}
+	for i, j := range in.Jobs {
+		jj, err := encodeJob(j)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		out.Jobs = append(out.Jobs, jj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func encodeJob(j Job) (jobJSON, error) {
+	switch v := j.(type) {
+	case Amdahl:
+		return jobJSON{Type: "amdahl", Seq: v.Seq, Par: v.Par}, nil
+	case Power:
+		return jobJSON{Type: "power", W: v.W, Alpha: v.Alpha}, nil
+	case PerfectSpeedup:
+		return jobJSON{Type: "perfect", W: v.W}, nil
+	case Sequential:
+		return jobJSON{Type: "sequential", T: v.T}, nil
+	case Comm:
+		return jobJSON{Type: "comm", W: v.W, C: v.C}, nil
+	case Table:
+		return jobJSON{Type: "table", Times: v.T}, nil
+	case Capped:
+		inner, err := encodeJob(v.J)
+		if err != nil {
+			return jobJSON{}, err
+		}
+		inner.Max = v.Max
+		return inner, nil
+	case *CountingJob:
+		return encodeJob(v.J)
+	default:
+		return jobJSON{}, fmt.Errorf("moldable: cannot serialize job type %T", j)
+	}
+}
+
+// UnmarshalInstance decodes an instance from JSON.
+func UnmarshalInstance(data []byte) (*Instance, error) {
+	var raw instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, err
+	}
+	in := &Instance{M: raw.M}
+	for i, jj := range raw.Jobs {
+		j, err := decodeJob(jj)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		in.Jobs = append(in.Jobs, j)
+	}
+	return in, nil
+}
+
+func decodeJob(jj jobJSON) (Job, error) {
+	var j Job
+	switch jj.Type {
+	case "amdahl":
+		j = Amdahl{Seq: jj.Seq, Par: jj.Par}
+	case "power":
+		j = Power{W: jj.W, Alpha: jj.Alpha}
+	case "perfect":
+		j = PerfectSpeedup{W: jj.W}
+	case "sequential":
+		j = Sequential{T: jj.T}
+	case "comm":
+		j = Comm{W: jj.W, C: jj.C}
+	case "table":
+		if len(jj.Times) == 0 {
+			return nil, fmt.Errorf("moldable: table job with no times")
+		}
+		j = Table{T: jj.Times}
+	default:
+		return nil, fmt.Errorf("moldable: unknown job type %q", jj.Type)
+	}
+	if jj.Max > 0 {
+		j = Capped{J: j, Max: jj.Max}
+	}
+	return j, nil
+}
+
+// WriteInstance writes the JSON encoding of in to w.
+func WriteInstance(w io.Writer, in *Instance) error {
+	data, err := MarshalInstance(in)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadInstance reads a JSON instance from r.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalInstance(data)
+}

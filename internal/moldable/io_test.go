@@ -1,0 +1,86 @@
+package moldable
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := &Instance{M: 128, Jobs: []Job{
+		Amdahl{Seq: 1.5, Par: 10},
+		Power{W: 20, Alpha: 0.7},
+		PerfectSpeedup{W: 33},
+		Sequential{T: 4},
+		Comm{W: 50, C: 0.25},
+		Table{T: []Time{9, 5, 4}},
+		Capped{J: PerfectSpeedup{W: 64}, Max: 8},
+	}}
+	data, err := MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != in.M || back.N() != in.N() {
+		t.Fatalf("shape mismatch: m=%d n=%d", back.M, back.N())
+	}
+	for i := range in.Jobs {
+		for _, p := range []int{1, 2, 3, 9, 100} {
+			a, b := in.Jobs[i].Time(p), back.Jobs[i].Time(p)
+			if a != b {
+				t.Errorf("job %d Time(%d): %v != %v after round trip", i, p, a, b)
+			}
+		}
+	}
+}
+
+func TestCountingJobSerializesAsInner(t *testing.T) {
+	in := &Instance{M: 4, Jobs: []Job{&CountingJob{J: Sequential{T: 2}}}}
+	data, err := MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs[0].Time(1) != 2 {
+		t.Error("counting wrapper not flattened")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalInstance([]byte(`{"m":1,"jobs":[{"type":"nope"}]}`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := UnmarshalInstance([]byte(`{"m":1,"jobs":[{"type":"table"}]}`)); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := UnmarshalInstance([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteReadInstance(t *testing.T) {
+	in := Random(GenConfig{N: 10, M: 32, Seed: 2})
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 10 || back.M != 32 {
+		t.Fatalf("bad shape after IO: n=%d m=%d", back.N(), back.M)
+	}
+}
+
+func TestMarshalRejectsUnknownJobType(t *testing.T) {
+	in := &Instance{M: 1, Jobs: []Job{badJob{}}}
+	if _, err := MarshalInstance(in); err == nil {
+		t.Error("unknown job type serialized")
+	}
+}

@@ -1,0 +1,91 @@
+package moldable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Preset returns a named GenConfig mix modelling a workload archetype.
+// Presets fix only the mix weights and size spread; callers set N, M
+// and Seed.
+//
+//	mixed        balanced blend of all families (the default mix)
+//	capability   few huge well-scaling jobs (capability HPC runs)
+//	capacity     many small poorly-scaling jobs (capacity/throughput)
+//	amdahl       Amdahl-limited solvers with sequential tails
+//	embarrassing perfectly parallel sweeps
+//	serialfarm   sequential jobs only (worst case for moldability)
+func Preset(name string) (GenConfig, error) {
+	switch name {
+	case "mixed":
+		return GenConfig{Amdahl: 4, Power: 3, Comm: 2, Sequential: 1, Perfect: 2}, nil
+	case "capability":
+		return GenConfig{Power: 6, Perfect: 3, Amdahl: 1, MinWork: 1e3, MaxWork: 1e6}, nil
+	case "capacity":
+		return GenConfig{Amdahl: 4, Sequential: 3, Comm: 3, MinWork: 1, MaxWork: 100}, nil
+	case "amdahl":
+		return GenConfig{Amdahl: 1}, nil
+	case "embarrassing":
+		return GenConfig{Perfect: 1}, nil
+	case "serialfarm":
+		return GenConfig{Sequential: 1}, nil
+	}
+	return GenConfig{}, fmt.Errorf("moldable: unknown preset %q", name)
+}
+
+// PresetNames lists the available presets.
+func PresetNames() []string {
+	return []string{"mixed", "capability", "capacity", "amdahl", "embarrassing", "serialfarm"}
+}
+
+// Stats summarizes an instance's shape for reports.
+type Stats struct {
+	N, M         int
+	TotalWork1   Time // Σ t_j(1)
+	MaxT1, MinT1 Time
+	MedianT1     Time
+	MaxTM        Time // max_j t_j(m)
+	LowerBound   Time
+	// AvgSpeedupAtM is the mean of t_j(1)/t_j(m): 1 = no speedup,
+	// m = perfect.
+	AvgSpeedupAtM float64
+}
+
+// Summarize computes Stats with 2n oracle calls.
+func Summarize(in *Instance) Stats {
+	st := Stats{N: in.N(), M: in.M, MinT1: math.Inf(1)}
+	t1s := make([]Time, 0, in.N())
+	var spd float64
+	for _, j := range in.Jobs {
+		t1 := j.Time(1)
+		tm := j.Time(in.M)
+		t1s = append(t1s, t1)
+		st.TotalWork1 += t1
+		if t1 > st.MaxT1 {
+			st.MaxT1 = t1
+		}
+		if t1 < st.MinT1 {
+			st.MinT1 = t1
+		}
+		if tm > st.MaxTM {
+			st.MaxTM = tm
+		}
+		if tm > 0 {
+			spd += float64(t1 / tm)
+		}
+	}
+	sort.Float64s(t1s)
+	if len(t1s) > 0 {
+		st.MedianT1 = t1s[len(t1s)/2]
+		st.AvgSpeedupAtM = spd / float64(len(t1s))
+	}
+	st.LowerBound = in.LowerBound()
+	return st
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d W1=%.4g t1∈[%.3g,%.3g] med=%.3g LB=%.4g avgSpeedup(m)=%.1f",
+		s.N, s.M, s.TotalWork1, s.MinT1, s.MaxT1, s.MedianT1, s.LowerBound, s.AvgSpeedupAtM)
+}

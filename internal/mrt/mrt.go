@@ -1,0 +1,74 @@
+// Package mrt implements the original Mounié–Rapine–Trystram 3/2-dual
+// approximation algorithm as described in Jansen & Land §4.1: remove the
+// small jobs, pick shelf S1 by solving a knapsack with the dense O(nm)
+// dynamic program, transform the two-shelf schedule into a feasible
+// three-shelf schedule (Lemma 7), and re-add the small jobs (Lemma 9).
+// Its running time is O(nm) — polynomial in m, NOT in log m — which is
+// exactly the baseline the compressible-knapsack algorithms of §4.2–4.3
+// improve upon.
+package mrt
+
+import (
+	"fmt"
+
+	"repro/internal/dual"
+	"repro/internal/knapsack"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+	"repro/internal/shelves"
+)
+
+// Dual is the 3/2-dual algorithm.
+type Dual struct {
+	In *moldable.Instance
+	// Stats accumulates cost counters across Try calls.
+	Stats Stats
+}
+
+// Stats counts the dominating operations.
+type Stats struct {
+	Tries         int
+	KnapsackCells int64 // dense DP cells touched (≈ n·m per call)
+}
+
+// Guarantee returns 3/2.
+func (a *Dual) Guarantee() float64 { return 1.5 }
+
+// Try implements the dual round for target makespan d.
+func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
+	a.Stats.Tries++
+	in := a.In
+	part, ok := shelves.Compute(in, d)
+	if !ok {
+		return nil, false
+	}
+	capacity := in.M - part.MandSize()
+	if capacity < 0 {
+		return nil, false
+	}
+	var shelf1 []int
+	if len(part.Opt) > 0 && capacity > 0 {
+		items := make([]knapsack.Item, 0, len(part.Opt))
+		for _, j := range part.Opt {
+			items = append(items, knapsack.Item{ID: j, Size: part.G1[j], Profit: part.Profit(in, j)})
+		}
+		a.Stats.KnapsackCells += int64(len(items)) * int64(capacity+1)
+		shelf1, _ = knapsack.SolveDense(items, capacity)
+	}
+	res, ok := shelves.Build(in, d, shelf1, shelves.Options{})
+	if !ok {
+		return nil, false
+	}
+	return res.Schedule, true
+}
+
+// Schedule runs the full (3/2+eps)-approximation: Ludwig–Tiwari
+// estimation plus the dual binary search with slack eps.
+func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, dual.Report{}, fmt.Errorf("mrt: eps=%v must be in (0,1]", eps)
+	}
+	est := lt.Estimate(in)
+	return dual.Search(&Dual{In: in}, est.Omega, eps)
+}

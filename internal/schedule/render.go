@@ -1,0 +1,101 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/moldable"
+)
+
+// Gantt renders an ASCII Gantt chart: one row per processor, time on the
+// horizontal axis scaled to width characters. Jobs are labelled with
+// base-36 digits of their index. Placements without a concrete processor
+// assignment are first assigned via AssignContiguous; if that fails the
+// cumulative usage profile is rendered instead.
+func Gantt(s *Schedule, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	mk := s.Makespan()
+	if mk <= 0 || len(s.Placements) == 0 {
+		return "(empty schedule)\n"
+	}
+	sc := s.Clone()
+	if err := AssignContiguous(sc); err != nil {
+		return UsageProfile(s, width)
+	}
+	scale := moldable.Time(width) / mk
+	rows := make([][]byte, sc.M)
+	for q := range rows {
+		rows[q] = []byte(strings.Repeat(".", width))
+	}
+	for _, p := range sc.Placements {
+		lo := int(p.Start * scale)
+		hi := int(p.End() * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		label := jobLabel(p.Job)
+		for q := p.FirstProc; q < p.FirstProc+p.Procs && q < sc.M; q++ {
+			for x := lo; x < hi; x++ {
+				rows[q][x] = label
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.4g  (m=%d procs, one row per proc)\n", mk, sc.M)
+	for q := sc.M - 1; q >= 0; q-- {
+		fmt.Fprintf(&b, "p%-3d |%s|\n", q, rows[q])
+	}
+	return b.String()
+}
+
+// UsageProfile renders the cumulative processor-usage curve over time.
+func UsageProfile(s *Schedule, width int) string {
+	mk := s.Makespan()
+	if mk <= 0 {
+		return "(empty schedule)\n"
+	}
+	type event struct {
+		t     moldable.Time
+		delta int
+	}
+	events := make([]event, 0, 2*len(s.Placements))
+	for _, p := range s.Placements {
+		events = append(events, event{p.Start, p.Procs}, event{p.End(), -p.Procs})
+	}
+	sort.Slice(events, func(i, k int) bool {
+		if events[i].t != events[k].t {
+			return events[i].t < events[k].t
+		}
+		return events[i].delta < events[k].delta
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "cumulative usage (m=%d, makespan=%.4g)\n", s.M, mk)
+	cur := 0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			cur += events[i].delta
+			i++
+		}
+		bars := 0
+		if s.M > 0 {
+			bars = cur * width / s.M
+		}
+		if bars > width {
+			bars = width
+		}
+		fmt.Fprintf(&b, "t=%-10.4g %4d |%s\n", t, cur, strings.Repeat("#", bars))
+	}
+	return b.String()
+}
+
+func jobLabel(j int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return digits[j%len(digits)]
+}

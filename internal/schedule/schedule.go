@@ -1,0 +1,127 @@
+// Package schedule represents moldable-job schedules and provides exact
+// feasibility validation and ASCII Gantt rendering.
+//
+// A schedule assigns each job a processor count, a start time and
+// (optionally) a contiguous block of concrete processor IDs. Moldable
+// scheduling only requires the *cumulative* processor usage to stay
+// within m at all times (processors are interchangeable and need not be
+// contiguous); the concrete IDs exist for rendering and for the shelf
+// construction, which reasons per-processor.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/moldable"
+)
+
+// Placement is one scheduled job.
+type Placement struct {
+	Job      int           // index of the job in the instance
+	Procs    int           // allotted processors, ≥ 1
+	Start    moldable.Time // start time, ≥ 0
+	Duration moldable.Time // equals t_j(Procs); stored for convenience
+	// FirstProc is the first processor ID of a contiguous assignment, or
+	// -1 when the schedule is only cumulative (no concrete processors).
+	FirstProc int
+}
+
+// End returns the completion time of the placement.
+func (p Placement) End() moldable.Time { return p.Start + p.Duration }
+
+// Schedule is a set of placements on M processors.
+type Schedule struct {
+	M          int
+	Placements []Placement
+}
+
+// New returns an empty schedule for m processors.
+func New(m int) *Schedule { return &Schedule{M: m} }
+
+// Add appends a placement without a concrete processor assignment.
+func (s *Schedule) Add(job, procs int, start, duration moldable.Time) {
+	s.Placements = append(s.Placements, Placement{
+		Job: job, Procs: procs, Start: start, Duration: duration, FirstProc: -1,
+	})
+}
+
+// AddAt appends a placement with a concrete contiguous processor block.
+func (s *Schedule) AddAt(job, procs int, start, duration moldable.Time, firstProc int) {
+	s.Placements = append(s.Placements, Placement{
+		Job: job, Procs: procs, Start: start, Duration: duration, FirstProc: firstProc,
+	})
+}
+
+// Makespan returns the completion time of the last job (0 for an empty
+// schedule).
+func (s *Schedule) Makespan() moldable.Time {
+	var mk moldable.Time
+	for _, p := range s.Placements {
+		if e := p.End(); e > mk {
+			mk = e
+		}
+	}
+	return mk
+}
+
+// TotalWork returns Σ Procs·Duration over all placements.
+func (s *Schedule) TotalWork() moldable.Time {
+	var w moldable.Time
+	for _, p := range s.Placements {
+		w += moldable.Time(p.Procs) * p.Duration
+	}
+	return w
+}
+
+// MaxUsage returns the maximum cumulative processor usage over time,
+// computed by an event sweep.
+func (s *Schedule) MaxUsage() int {
+	type event struct {
+		t     moldable.Time
+		delta int
+	}
+	events := make([]event, 0, 2*len(s.Placements))
+	for _, p := range s.Placements {
+		events = append(events, event{p.Start, p.Procs}, event{p.End(), -p.Procs})
+	}
+	sort.Slice(events, func(i, k int) bool {
+		if events[i].t != events[k].t {
+			return events[i].t < events[k].t
+		}
+		return events[i].delta < events[k].delta // releases before acquisitions
+	})
+	cur, best := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Allotment returns the processor counts per job index. Jobs missing from
+// the schedule have entry 0.
+func (s *Schedule) Allotment(n int) []int {
+	a := make([]int, n)
+	for _, p := range s.Placements {
+		if p.Job >= 0 && p.Job < n {
+			a[p.Job] = p.Procs
+		}
+	}
+	return a
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{M: s.M, Placements: make([]Placement, len(s.Placements))}
+	copy(c.Placements, s.Placements)
+	return c
+}
+
+// String summarizes the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{m=%d, jobs=%d, makespan=%.6g, maxUsage=%d}",
+		s.M, len(s.Placements), s.Makespan(), s.MaxUsage())
+}

@@ -1,0 +1,74 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/moldable"
+)
+
+// SVG renders the schedule as a scalable vector graphic: time on the
+// x-axis, processors on the y-axis, one rectangle per placement,
+// deterministic per-job colors, with a horizontal rule at each shelf
+// boundary visible in the data. Placements lacking a concrete processor
+// assignment are assigned via AssignContiguous; if that fails the
+// cumulative profile cannot be drawn and an error is returned.
+func SVG(w io.Writer, s *Schedule, width, height int) error {
+	if width <= 0 {
+		width = 900
+	}
+	if height <= 0 {
+		height = 400
+	}
+	mk := s.Makespan()
+	if mk <= 0 || len(s.Placements) == 0 {
+		return fmt.Errorf("schedule: nothing to render")
+	}
+	sc := s.Clone()
+	if err := AssignContiguous(sc); err != nil {
+		return fmt.Errorf("schedule: cannot render svg: %w", err)
+	}
+	const margin = 40
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	xOf := func(t moldable.Time) float64 { return margin + plotW*float64(t/mk) }
+	yOf := func(proc int) float64 { return margin + plotH*float64(proc)/float64(sc.M) }
+	rowH := plotH / float64(sc.M)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// frame
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		margin, margin, plotW, plotH)
+	for _, p := range sc.Placements {
+		x := xOf(p.Start)
+		y := yOf(p.FirstProc)
+		wpx := xOf(p.End()) - x
+		hpx := rowH * float64(p.Procs)
+		fmt.Fprintf(&b,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#222" stroke-width="0.5"><title>job %d: %d procs, [%.4g, %.4g)</title></rect>`+"\n",
+			x, y, wpx, hpx, jobColor(p.Job), p.Job, p.Procs, p.Start, p.End())
+		if wpx > 18 && hpx > 10 {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="9" font-family="monospace" fill="#000">%d</text>`+"\n",
+				x+2, y+hpx/2+3, p.Job)
+		}
+	}
+	// axes labels
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="monospace">0</text>`+"\n", margin, height-margin+14)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" font-family="monospace" text-anchor="end">%.4g</text>`+"\n",
+		float64(margin)+plotW, height-margin+14, mk)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="monospace">m=%d</text>`+"\n", 4, margin+10, sc.M)
+	fmt.Fprintf(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jobColor returns a deterministic pastel for a job index (golden-angle
+// hue walk keeps adjacent indices distinguishable).
+func jobColor(j int) string {
+	hue := (j * 137) % 360
+	return fmt.Sprintf("hsl(%d,65%%,72%%)", hue)
+}

@@ -1,0 +1,384 @@
+package shelves
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/gamma"
+	"repro/internal/knapsack"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Options selects the transformation-rule implementation.
+type Options struct {
+	// Buckets switches rule (ii)'s special case from an exact min-heap
+	// over t_j(γ_j(τ)) (O(n log n), §4.1.1) to O(1/δ) buckets of
+	// geometrically rounded processing times (§4.3.3). With buckets the
+	// one special-case column may exceed the 3τ/2 horizon by up to
+	// (BucketRatio−1)·τ, matching the paper's (3/2(1+δ)²+δ)d bound.
+	Buckets     bool
+	BucketRatio float64 // grid ratio 1+4ρ (> 1); required when Buckets
+}
+
+// Result reports a successful build and its diagnostics.
+type Result struct {
+	Schedule   *schedule.Schedule
+	P0, P1, P2 int           // processors used by the three shelves
+	BigWork    moldable.Time // work of the big jobs in the shelf schedule
+	Reason     string        // non-empty when the build rejected
+}
+
+// colJob is one job inside an S0 column or shelf.
+type colJob struct {
+	job   int
+	procs int
+	start moldable.Time
+	dur   moldable.Time
+}
+
+// column is a set of processors busy for the whole 3τ/2 window.
+type column struct {
+	procs int
+	jobs  []colJob
+	end   moldable.Time
+}
+
+// catCHeap orders shelf-1 long jobs by processing time (exact variant).
+type catCEntry struct {
+	key moldable.Time // exact or rounded duration
+	colJob
+	s1idx int // index into the s1 slice (for the special case of rule (ii))
+}
+type catCHeap []catCEntry
+
+func (h catCHeap) Len() int            { return len(h) }
+func (h catCHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h catCHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *catCHeap) Push(x interface{}) { *h = append(*h, x.(catCEntry)) }
+func (h *catCHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// s2Heap orders shelf-2 jobs by γ_j(3τ/2) ascending for rule (iii).
+type s2Entry struct {
+	g3  int
+	job int
+}
+type s2Heap []s2Entry
+
+func (h s2Heap) Len() int            { return len(h) }
+func (h s2Heap) Less(i, j int) bool  { return h[i].g3 < h[j].g3 }
+func (h s2Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *s2Heap) Push(x interface{}) { *h = append(*h, x.(s2Entry)) }
+func (h *s2Heap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Build turns a shelf-1 selection into a feasible schedule of makespan at
+// most 3τ/2 (plus the bucket slack, see Options) for ALL jobs, following
+// Lemma 7: exhaustively apply transformation rules (i)–(iii), lay the
+// shelves out on concrete processors, and re-insert the small jobs
+// next-fit (Lemma 9). ok=false means τ must be rejected by the caller —
+// Build never falsely rejects a τ for which the work bound
+// W(J′,τ) ≤ mτ − W_S(τ) holds (Lemmas 6–9).
+//
+// shelf1 lists job indices selected for shelf S1; jobs that are small at
+// τ are ignored (Corollary 10) and mandatory jobs are added
+// automatically.
+func Build(in *moldable.Instance, tau moldable.Time, shelf1 []int, opt Options) (*Result, bool) {
+	m := in.M
+	res := &Result{}
+	part, ok := Compute(in, tau)
+	if !ok {
+		res.Reason = "some big job cannot meet τ on m processors"
+		return res, false
+	}
+	inS1 := make([]bool, in.N())
+	for _, j := range shelf1 {
+		inS1[j] = true
+	}
+	for _, j := range part.Mand {
+		inS1[j] = true
+	}
+	// Work bound of Lemma 9: reject when W(J′,τ) > mτ − W_S(τ).
+	res.BigWork = part.ShelfWork(in, inS1)
+	budget := moldable.Time(m)*tau - part.WSmall
+	if res.BigWork > budget*(1+1e-9)+1e-12 {
+		res.Reason = fmt.Sprintf("work %.6g exceeds mτ−W_S = %.6g", res.BigWork, budget)
+		return res, false
+	}
+
+	horizon := 1.5 * tau
+	var cols []column
+	var s1 []colJob
+	p0, p1 := 0, 0
+	pendingB := -1
+	var pendingBDur moldable.Time
+
+	// Long-job (category C) store: exact heap or rounded buckets.
+	var ch catCHeap
+	var buckets [][]catCEntry
+	var bucketGrid []float64
+	if opt.Buckets {
+		ratio := opt.BucketRatio
+		if !(ratio > 1) {
+			res.Reason = "bucket ratio must exceed 1"
+			return res, false
+		}
+		bucketGrid = knapsack.Geom(tau/2, tau, ratio)
+		buckets = make([][]catCEntry, len(bucketGrid))
+	}
+	pushC := func(e catCEntry) {
+		if opt.Buckets {
+			i := knapsack.RoundDownIdx(bucketGrid, e.dur)
+			if i < 0 {
+				i = 0
+			}
+			e.key = bucketGrid[i]
+			buckets[i] = append(buckets[i], e)
+			return
+		}
+		e.key = e.dur
+		heap.Push(&ch, e)
+	}
+	popMinC := func() (catCEntry, bool) {
+		if opt.Buckets {
+			for i := range buckets {
+				if len(buckets[i]) > 0 {
+					e := buckets[i][len(buckets[i])-1]
+					buckets[i] = buckets[i][:len(buckets[i])-1]
+					return e, true
+				}
+			}
+			return catCEntry{}, false
+		}
+		if len(ch) == 0 {
+			return catCEntry{}, false
+		}
+		return heap.Pop(&ch).(catCEntry), true
+	}
+
+	bad := false
+	// classify admits a job into shelf S1, immediately applying rules (i)
+	// and (ii). procs is the job's shelf-1 processor count, dur its time.
+	classify := func(j, procs int, dur moldable.Time) {
+		switch {
+		case dur <= 0.75*tau && procs > 1:
+			// Rule (i): move to S0 on procs−1 processors.
+			d2 := in.Jobs[j].Time(procs - 1)
+			if d2 > horizon*(1+1e-9) {
+				bad = true // violates monotonicity-derived bound t(γ−1) ≤ 2t(γ)
+				return
+			}
+			cols = append(cols, column{procs: procs - 1,
+				jobs: []colJob{{j, procs - 1, 0, d2}}, end: d2})
+			p0 += procs - 1
+		case dur <= 0.75*tau:
+			// Rule (ii): pair single-processor short jobs.
+			if pendingB >= 0 {
+				cols = append(cols, column{procs: 1, jobs: []colJob{
+					{pendingB, 1, 0, pendingBDur},
+					{j, 1, pendingBDur, dur},
+				}, end: pendingBDur + dur})
+				p0++
+				p1-- // the pending job's processor moves from S1 to S0
+				pendingB = -1
+			} else {
+				pendingB, pendingBDur = j, dur
+				p1++
+			}
+		default:
+			// Category C: stays in shelf S1.
+			e := catCEntry{colJob: colJob{job: j, procs: procs, start: 0, dur: dur}, s1idx: len(s1)}
+			s1 = append(s1, e.colJob)
+			pushC(e)
+			p1 += procs
+		}
+	}
+
+	for _, j := range part.Big {
+		if inS1[j] {
+			classify(j, part.G1[j], in.Jobs[j].Time(part.G1[j]))
+		}
+	}
+	if bad {
+		res.Reason = "job violates monotone time bound under rule (i)"
+		return res, false
+	}
+
+	// Rule (iii): pull shelf-2 jobs forward while processors are free
+	// beside S0 and S1. q = m − p0 − p1 never increases during this loop,
+	// so a single pass over the γ_j(3τ/2)-min-heap is exhaustive.
+	var s2h s2Heap
+	for _, j := range part.Big {
+		if inS1[j] {
+			continue
+		}
+		g3, ok3 := gamma.Gamma(in.Jobs[j], m, horizon)
+		if !ok3 { // cannot happen: t_j(m) ≤ τ < 3τ/2 for big jobs
+			res.Reason = "γ(3τ/2) undefined for a big job"
+			return res, false
+		}
+		heap.Push(&s2h, s2Entry{g3: g3, job: j})
+	}
+	var s2 []colJob
+	for len(s2h) > 0 {
+		q := m - p0 - p1
+		if s2h[0].g3 > q {
+			break
+		}
+		e := heap.Pop(&s2h).(s2Entry)
+		p := e.g3
+		dur := in.Jobs[e.job].Time(p)
+		if dur > tau {
+			// full-window S0 column
+			cols = append(cols, column{procs: p,
+				jobs: []colJob{{e.job, p, 0, dur}}, end: dur})
+			p0 += p
+		} else {
+			// joins shelf S1 with its canonical count γ_j(τ) (= p here)
+			classify(e.job, part.G1[e.job], in.Jobs[e.job].Time(part.G1[e.job]))
+			if bad {
+				res.Reason = "job violates monotone time bound under rule (i)"
+				return res, false
+			}
+		}
+	}
+	for _, e := range s2h {
+		j := e.job
+		s2 = append(s2, colJob{job: j, procs: part.G2[j],
+			start: horizon - in.Jobs[j].Time(part.G2[j]), dur: in.Jobs[j].Time(part.G2[j])})
+	}
+
+	// Rule (ii) special case: stack the one unpaired short job on top of
+	// the shortest category-C job if their combined time fits. The
+	// category-C host stays in S1, but its first processor — running the
+	// host's slice and then the rider — conceptually moves to S0 (it is
+	// busy past τ, so shelf S2 must not reuse it): p0 gains 1, p1 loses
+	// the rider's old processor and the host's first processor.
+	specialS1, riderJob := -1, -1
+	var riderDur moldable.Time
+	if pendingB >= 0 {
+		if e, ok := popMinC(); ok {
+			if e.key+pendingBDur <= horizon*(1+1e-12) {
+				specialS1 = e.s1idx
+				riderJob, riderDur = pendingB, pendingBDur
+				p0++
+				p1 -= 2
+				pendingB = -1
+			}
+			// (a popped but unused entry need not be re-pushed: the
+			// special case is attempted exactly once, at the end)
+		}
+	}
+	if pendingB >= 0 {
+		s1 = append(s1, colJob{job: pendingB, procs: 1, start: 0, dur: pendingBDur})
+	}
+	// Put the special host block first in the S1 region so that its first
+	// processor sits at the region boundary, where shelf S2 can skip it.
+	if specialS1 > 0 {
+		s1[0], s1[specialS1] = s1[specialS1], s1[0]
+		specialS1 = 0
+	}
+
+	// Feasibility per Lemma 8.
+	p2 := 0
+	for _, cj := range s2 {
+		p2 += cj.procs
+	}
+	res.P0, res.P1, res.P2 = p0, p1, p2
+	if p0+p1 > m || p0+p2 > m {
+		res.Reason = fmt.Sprintf("shelves need %d/%d processors (m=%d)", p0+p1, p0+p2, m)
+		return res, false
+	}
+
+	// Concrete layout. Free windows are emitted as GROUPS of adjacent
+	// processors with identical windows — O(n) groups total, never O(m)
+	// work, preserving the polylog-in-m running time for huge machines.
+	sched := schedule.New(m)
+	var groups []freeGroup
+	x := 0
+	for _, col := range cols {
+		for _, cj := range col.jobs {
+			sched.AddAt(cj.job, cj.procs, cj.start, cj.dur, x)
+		}
+		groups = append(groups, freeGroup{first: x, count: col.procs, fs: col.end, fe: horizon})
+		x += col.procs
+	}
+	// On processors ≥ x, shelf S1 defines the window starts (busy from
+	// time 0) and shelf S2 the window ends (busy until 3τ/2); the two
+	// block sequences overlap in processor space but not in time. Both
+	// are step functions over [x, m); merge them into groups.
+	type stepEnt struct {
+		upto int
+		val  moldable.Time
+	}
+	var fsSteps, feSteps []stepEnt
+	x1 := x
+	for idx, cj := range s1 {
+		sched.AddAt(cj.job, cj.procs, 0, cj.dur, x1)
+		if idx == specialS1 && specialS1 >= 0 {
+			// rider runs on the host's first processor after the host
+			sched.AddAt(riderJob, 1, cj.dur, riderDur, x1)
+			fsSteps = append(fsSteps, stepEnt{x1 + 1, cj.dur + riderDur})
+			if cj.procs > 1 {
+				fsSteps = append(fsSteps, stepEnt{x1 + cj.procs, cj.dur})
+			}
+		} else {
+			fsSteps = append(fsSteps, stepEnt{x1 + cj.procs, cj.dur})
+		}
+		x1 += cj.procs
+	}
+	fsSteps = append(fsSteps, stepEnt{m, 0}) // idle processors: free from 0
+	x2 := x
+	if specialS1 >= 0 {
+		x2 = x + 1 // the rider's processor is unavailable to shelf S2
+		feSteps = append(feSteps, stepEnt{x2, horizon})
+	}
+	for _, cj := range s2 {
+		sched.AddAt(cj.job, cj.procs, cj.start, cj.dur, x2)
+		feSteps = append(feSteps, stepEnt{x2 + cj.procs, cj.start})
+		x2 += cj.procs
+	}
+	feSteps = append(feSteps, stepEnt{m, horizon}) // no S2 job: free to 3τ/2
+	i1, i2 := 0, 0
+	for pos := x; pos < m; {
+		for i1 < len(fsSteps) && fsSteps[i1].upto <= pos {
+			i1++
+		}
+		for i2 < len(feSteps) && feSteps[i2].upto <= pos {
+			i2++
+		}
+		end := m
+		fs, fe := moldable.Time(0), horizon
+		if i1 < len(fsSteps) {
+			fs = fsSteps[i1].val
+			if fsSteps[i1].upto < end {
+				end = fsSteps[i1].upto
+			}
+		}
+		if i2 < len(feSteps) {
+			fe = feSteps[i2].val
+			if feSteps[i2].upto < end {
+				end = feSteps[i2].upto
+			}
+		}
+		groups = append(groups, freeGroup{first: pos, count: end - pos, fs: fs, fe: fe})
+		pos = end
+	}
+
+	// Small jobs next-fit over grouped free windows (Lemma 9).
+	if !insertSmall(in, part, sched, groups) {
+		res.Reason = "small jobs do not fit (work bound violated)"
+		return res, false
+	}
+	res.Schedule = sched
+	return res, true
+}

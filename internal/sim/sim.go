@@ -1,0 +1,245 @@
+// Package sim is a discrete-event execution simulator for moldable-job
+// schedules. Where schedule.Validate checks a schedule analytically,
+// sim executes it operationally on m simulated processors: jobs acquire
+// and release processor capacity at event times, infeasibility
+// manifests as a failed acquisition, and machine-level metrics
+// (utilization, idle time, per-job waits) fall out of the event trace.
+//
+// The simulator also supports perturbed execution times (Noise), with
+// two dispatch models:
+//
+//   - Static: start times are taken from the plan verbatim. Under noise
+//     a job may still be running when the plan starts the next one on
+//     the same capacity — the simulator reports the overflow. This
+//     models a rigid reservation-based runtime.
+//   - WorkConserving: jobs are released in planned start order and each
+//     starts as soon as its processors are free. Plans always remain
+//     executable; noise shows up as a longer realized makespan. This
+//     models a list-scheduling runtime replaying the plan.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Dispatch selects the execution model.
+type Dispatch int
+
+// Dispatch models.
+const (
+	Static Dispatch = iota
+	WorkConserving
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Dispatch Dispatch
+	// Noise perturbs the execution time of each job. nil = exact. The
+	// returned duration must be positive.
+	Noise func(job int, planned moldable.Time) moldable.Time
+	// KeepTrace records the full event list in the metrics.
+	KeepTrace bool
+}
+
+// EventKind tags trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	EvStart EventKind = iota
+	EvFinish
+)
+
+// Event is one simulator transition.
+type Event struct {
+	T     moldable.Time
+	Kind  EventKind
+	Job   int
+	Procs int
+	// Free is the processor count available immediately AFTER the event.
+	Free int
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Makespan        moldable.Time
+	PlannedMakespan moldable.Time
+	BusyArea        moldable.Time // Σ procs·realized duration
+	Utilization     float64       // BusyArea / (m · Makespan)
+	PeakProcs       int
+	// MaxOverflow is the worst excess over m observed (Static dispatch
+	// under noise); 0 for a feasible execution.
+	MaxOverflow int
+	// Stretch is realized/planned makespan.
+	Stretch float64
+	// Start and Finish are realized per-job times.
+	Start, Finish []moldable.Time
+	Trace         []Event
+}
+
+// ErrInfeasible is returned when a static execution oversubscribes the
+// machine and Options require strict feasibility.
+var ErrInfeasible = errors.New("sim: execution oversubscribes the machine")
+
+// Run executes the schedule for the instance under opt.
+func Run(in *moldable.Instance, s *schedule.Schedule, opt Options) (*Metrics, error) {
+	n := in.N()
+	if len(s.Placements) != n {
+		return nil, fmt.Errorf("sim: schedule covers %d of %d jobs", len(s.Placements), n)
+	}
+	met := &Metrics{
+		PlannedMakespan: s.Makespan(),
+		Start:           make([]moldable.Time, n),
+		Finish:          make([]moldable.Time, n),
+	}
+	realized := make([]moldable.Time, n)
+	for _, p := range s.Placements {
+		d := p.Duration
+		if opt.Noise != nil {
+			d = opt.Noise(p.Job, d)
+			if d <= 0 {
+				return nil, fmt.Errorf("sim: noise produced non-positive duration %v for job %d", d, p.Job)
+			}
+		}
+		realized[p.Job] = d
+	}
+	switch opt.Dispatch {
+	case Static:
+		return met, runStatic(in, s, realized, opt, met)
+	case WorkConserving:
+		return met, runWorkConserving(in, s, realized, opt, met)
+	}
+	return nil, fmt.Errorf("sim: unknown dispatch model %d", opt.Dispatch)
+}
+
+// runStatic plays the plan verbatim: starts at planned times, realized
+// durations. Oversubscription is recorded (MaxOverflow) rather than
+// fatal, so robustness studies can measure it.
+func runStatic(in *moldable.Instance, s *schedule.Schedule, realized []moldable.Time,
+	opt Options, met *Metrics) error {
+	type ev struct {
+		t     moldable.Time
+		kind  EventKind
+		job   int
+		procs int
+	}
+	evs := make([]ev, 0, 2*len(s.Placements))
+	for _, p := range s.Placements {
+		met.Start[p.Job] = p.Start
+		met.Finish[p.Job] = p.Start + realized[p.Job]
+		evs = append(evs,
+			ev{p.Start, EvStart, p.Job, p.Procs},
+			ev{p.Start + realized[p.Job], EvFinish, p.Job, p.Procs})
+		met.BusyArea += moldable.Time(p.Procs) * realized[p.Job]
+		if met.Finish[p.Job] > met.Makespan {
+			met.Makespan = met.Finish[p.Job]
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].kind == EvFinish && evs[b].kind == EvStart // releases first
+	})
+	used := 0
+	for _, e := range evs {
+		if e.kind == EvStart {
+			used += e.procs
+		} else {
+			used -= e.procs
+		}
+		if used > met.PeakProcs {
+			met.PeakProcs = used
+		}
+		if over := used - in.M; over > met.MaxOverflow {
+			met.MaxOverflow = over
+		}
+		if opt.KeepTrace {
+			met.Trace = append(met.Trace, Event{e.t, e.kind, e.job, e.procs, in.M - used})
+		}
+	}
+	finishMetrics(in.M, met)
+	return nil
+}
+
+// runWorkConserving releases jobs in planned start order; each starts
+// when its processors are free (never earlier than release in plan
+// order — the same discipline as listsched.InOrder restricted to the
+// planned sequence).
+func runWorkConserving(in *moldable.Instance, s *schedule.Schedule, realized []moldable.Time,
+	opt Options, met *Metrics) error {
+	order := make([]int, len(s.Placements))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Placements[order[a]].Start < s.Placements[order[b]].Start
+	})
+	type running struct {
+		finish moldable.Time
+		procs  int
+		job    int
+	}
+	var act []running // sorted scan is fine at these sizes
+	now := moldable.Time(0)
+	free := in.M
+	release := func(until moldable.Time) {
+		// complete everything finishing ≤ until
+		sort.Slice(act, func(a, b int) bool { return act[a].finish < act[b].finish })
+		for len(act) > 0 && act[0].finish <= until {
+			free += act[0].procs
+			if opt.KeepTrace {
+				met.Trace = append(met.Trace, Event{act[0].finish, EvFinish, act[0].job, act[0].procs, free})
+			}
+			act = act[1:]
+		}
+	}
+	for _, pi := range order {
+		p := s.Placements[pi]
+		need := p.Procs
+		if need > in.M {
+			return fmt.Errorf("sim: job %d needs %d > m processors", p.Job, need)
+		}
+		for free < need {
+			// advance to the next completion
+			sort.Slice(act, func(a, b int) bool { return act[a].finish < act[b].finish })
+			if len(act) == 0 {
+				return errors.New("sim: deadlock with idle machine") // cannot happen
+			}
+			now = act[0].finish
+			release(now)
+		}
+		if opt.KeepTrace {
+			met.Trace = append(met.Trace, Event{now, EvStart, p.Job, need, free - need})
+		}
+		met.Start[p.Job] = now
+		met.Finish[p.Job] = now + realized[p.Job]
+		met.BusyArea += moldable.Time(need) * realized[p.Job]
+		if met.Finish[p.Job] > met.Makespan {
+			met.Makespan = met.Finish[p.Job]
+		}
+		free -= need
+		act = append(act, running{met.Finish[p.Job], need, p.Job})
+		used := in.M - free
+		if used > met.PeakProcs {
+			met.PeakProcs = used
+		}
+	}
+	release(met.Makespan)
+	finishMetrics(in.M, met)
+	return nil
+}
+
+func finishMetrics(m int, met *Metrics) {
+	if met.Makespan > 0 {
+		met.Utilization = float64(met.BusyArea / (moldable.Time(m) * met.Makespan))
+	}
+	if met.PlannedMakespan > 0 {
+		met.Stretch = float64(met.Makespan / met.PlannedMakespan)
+	}
+}

@@ -1,0 +1,83 @@
+// Package repro reproduces "Scheduling Monotone Moldable Jobs in Linear
+// Time" (Klaus Jansen & Felix Land, IPDPS 2018, arXiv:1711.00103): a
+// complete Go implementation of the paper's algorithms — the FPTAS for
+// large machine counts (Theorem 2), the three (3/2+ε)-approximation
+// algorithms with running times polylogarithmic in the number of
+// machines (Theorem 3 / Table 1), the 4-Partition NP-completeness
+// reduction (Theorem 1) — together with every substrate they rely on:
+// the moldable-job oracle model, the Ludwig–Tiwari estimator, list
+// scheduling, the Mounié–Rapine–Trystram shelf machinery, and the
+// knapsack-with-compressible-items toolbox (Algorithm 2 / Theorem 15).
+//
+// The root package is a thin facade; the implementation lives under
+// internal/ (see DESIGN.md for the system inventory):
+//
+//	in := &moldable.Instance{M: 1 << 20, Jobs: []moldable.Job{
+//	    moldable.Amdahl{Seq: 2, Par: 98},
+//	    moldable.PerfectSpeedup{W: 512},
+//	}}
+//	s, rep, err := repro.Schedule(in, repro.Options{Eps: 0.1})
+//
+// Entry points:
+//
+//	Schedule    — algorithm selection per core.Options (Auto by default)
+//	TwoApprox   — the classical Ludwig–Tiwari 2-approximation
+//	Estimate    — ω with ω ≤ OPT ≤ 2ω in O(n log²m)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// Re-exported types, so basic use needs only this package plus
+// internal/moldable for job definitions.
+type (
+	// Options configures Schedule; see core.Options.
+	Options = core.Options
+	// Report describes a scheduling run; see core.Report.
+	Report = core.Report
+	// Algorithm selects the algorithm; see the constants below.
+	Algorithm = core.Algorithm
+	// Schedule is a produced schedule; see schedule.Schedule.
+	ScheduleResult = schedule.Schedule
+)
+
+// Algorithm constants.
+const (
+	Auto   = core.Auto
+	LT2    = core.LT2
+	MRT    = core.MRT
+	Alg1   = core.Alg1
+	Alg3   = core.Alg3
+	Linear = core.Linear
+	FPTAS  = core.FPTAS
+)
+
+// Schedule solves the instance; see core.Schedule.
+func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
+	return core.Schedule(in, opt)
+}
+
+// PTAS is the §3.2 router; see core.PTAS.
+func PTAS(in *moldable.Instance, eps float64) (*schedule.Schedule, *Report, error) {
+	return core.PTAS(in, eps)
+}
+
+// TwoApprox is the classical 2-approximation (Ludwig–Tiwari estimator +
+// list scheduling).
+func TwoApprox(in *moldable.Instance) (*schedule.Schedule, lt.Result) {
+	return lt.TwoApprox(in)
+}
+
+// Estimate computes ω with ω ≤ OPT ≤ 2ω in time O(n log²m).
+func Estimate(in *moldable.Instance) lt.Result {
+	return lt.Estimate(in)
+}
+
+// Validate checks a schedule against its instance.
+func Validate(in *moldable.Instance, s *schedule.Schedule) error {
+	return schedule.Validate(in, s, schedule.Options{})
+}
