@@ -1,6 +1,7 @@
-// Benchmarks regenerating the paper's evaluation (see DESIGN.md §4 and
-// EXPERIMENTS.md): one benchmark family per table/figure, plus the
-// ablations. Run everything with
+// Benchmarks regenerating the paper's evaluation (see DESIGN.md §4 for
+// the full experiment and benchmark index): one benchmark family per
+// table/figure, plus the ablations and the serving path. Run everything
+// with
 //
 //	go test -bench=. -benchmem
 //
@@ -11,13 +12,16 @@
 //	BenchmarkTheorem3_*     Theorem 3 (full (3/2+ε) runs; ratio reported)
 //	BenchmarkFig1_*         Theorem 1 / Figure 1 (reduction pipeline)
 //	BenchmarkCrossover_*    §4.2 motivation (MRT O(nm) vs §4.3.3)
-//	BenchmarkAblation_*     design-choice ablations from DESIGN.md
+//	BenchmarkAblation_*     design-choice ablations from DESIGN.md §4
+//	BenchmarkBatch_*        the serving path (DESIGN.md §5)
 package repro_test
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dual"
 	"repro/internal/fast"
 	"repro/internal/fourpart"
@@ -27,6 +31,7 @@ import (
 	"repro/internal/moldable"
 	"repro/internal/mrt"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/shelves"
 )
 
@@ -180,7 +185,7 @@ func BenchmarkCrossover_MRTvsLinear(b *testing.B) {
 // --- Ablations ---
 
 // Dense O(nC) knapsack vs the compressible pair-list solver at the sizes
-// Algorithm 1 actually feeds it (the DESIGN.md "value of compression"
+// Algorithm 1 actually feeds it (the DESIGN.md §4 "value of compression"
 // ablation).
 func BenchmarkAblation_Knapsack(b *testing.B) {
 	for _, m := range []int{1 << 10, 1 << 14} {
@@ -248,6 +253,56 @@ func BenchmarkEstimator(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				lt.Estimate(in)
 			}
+		})
+	}
+}
+
+// --- Serving path: batch throughput with and without oracle
+// memoization (DESIGN.md §5) ---
+
+// batchInstance builds the repeated-oracle workload: n table-backed
+// jobs whose oracle re-scans its raw measurements on every probe
+// (moldable.EnvelopeTable, the non-compact encoding), so an uncached
+// t_j(p) costs O(p). This is the regime the service's memoization
+// targets; the cold runs measure the same workload with memoization
+// disabled.
+func batchInstance(n, m int) *moldable.Instance {
+	rng := rand.New(rand.NewPCG(17, 0))
+	in := &moldable.Instance{M: m}
+	for i := 0; i < n; i++ {
+		in.Jobs = append(in.Jobs, moldable.EnvelopeTable{Raw: moldable.SmallTable(rng, m, 1000).T})
+	}
+	return in
+}
+
+// BenchmarkBatch_Throughput schedules the same table-backed instance
+// repeatedly through the service with a fresh ε per submission (so the
+// result cache never answers and every iteration runs the full
+// estimator + dual search), memoized vs cold. The memoized runs share
+// one oracle cache across all iterations; instances/sec is reported as
+// the serving-path headline metric.
+func BenchmarkBatch_Throughput(b *testing.B) {
+	in := batchInstance(256, 4096)
+	for _, mode := range []struct {
+		name string
+		cfg  service.Config
+	}{
+		{"cold", service.Config{NoMemoize: true, NoResultCache: true}},
+		{"memoized", service.Config{NoResultCache: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			svc := service.New(mode.cfg)
+			defer svc.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eps := 0.2 + 0.1*float64(i%16)/16 // defeat any result reuse
+				r := svc.Do(in, core.Options{Algorithm: core.Linear, Eps: eps})
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
 		})
 	}
 }

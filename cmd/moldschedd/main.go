@@ -1,0 +1,235 @@
+// Command moldschedd is the long-running scheduling daemon: a JSON-lines
+// front end over internal/service. It reads one request object per line
+// from stdin and writes one response object per line to stdout, so any
+// process that can speak pipes can drive it:
+//
+//	moldschedd < requests.jsonl
+//	mkfifo req && moldschedd < req > resp &
+//
+// Requests ("op" selects the operation):
+//
+//	{"op":"submit","tag":"a1","algo":"auto","eps":0.1,"validate":false,
+//	 "instance":{"m":64,"jobs":[{"type":"amdahl","seq":2,"par":98}]}}
+//	{"op":"result","id":1,"wait":true}
+//	{"op":"stats"}
+//	{"op":"shutdown"}
+//
+// Responses echo "op" (and "tag"/"id" where relevant):
+//
+//	{"op":"submit","tag":"a1","id":1}
+//	{"op":"result","id":1,"done":true,"cached":false,"algorithm":"linear",
+//	 "makespan":12.5,"lowerbound":11.9,"ratio":1.05,"iterations":7,
+//	 "elapsed_ms":0.8,"allot":[3,1]}
+//	{"op":"stats","submitted":1,"completed":1,...}
+//
+// submit replies with a ticket id once the instance is validated; the
+// work runs on the service's sharded pool. result with wait=true
+// answers when the ticket completes. Responses are written as they
+// become ready, so they may interleave out of request order — submit
+// replies included (validation runs off the read loop); correlate
+// submit replies by tag and result replies by id. result consumes the
+// ticket. shutdown drains in-flight work and exits.
+//
+// See DESIGN.md §5 for the daemon's place in the serving architecture.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/service"
+)
+
+// request is the union of all request shapes.
+type request struct {
+	Op       string          `json:"op"`
+	Tag      string          `json:"tag,omitempty"`
+	ID       uint64          `json:"id,omitempty"`
+	Wait     bool            `json:"wait,omitempty"`
+	Algo     string          `json:"algo,omitempty"`
+	Eps      float64         `json:"eps,omitempty"`
+	Validate bool            `json:"validate,omitempty"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+}
+
+// response is the union of all response shapes.
+type response struct {
+	Op    string `json:"op"`
+	Tag   string `json:"tag,omitempty"`
+	ID    uint64 `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	// result fields
+	Done       *bool         `json:"done,omitempty"`
+	Cached     bool          `json:"cached,omitempty"`
+	Algorithm  string        `json:"algorithm,omitempty"`
+	Makespan   moldable.Time `json:"makespan,omitempty"`
+	LowerBound moldable.Time `json:"lowerbound,omitempty"`
+	Ratio      float64       `json:"ratio,omitempty"`
+	Iterations int           `json:"iterations,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms,omitempty"`
+	Allot      []int         `json:"allot,omitempty"`
+
+	// stats payload
+	Stats *service.Stats `json:"stats,omitempty"`
+}
+
+// writer serializes concurrent response emission onto stdout.
+type writer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (w *writer) send(r response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(r); err != nil {
+		log.Fatalf("writing response: %v", err)
+	}
+}
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 0, "pool workers (0: GOMAXPROCS)")
+		cacheCap = flag.Int("cache", 1024, "result-cache capacity (0: default)")
+		memoCap  = flag.Int("memo", 256, "memoized-instance capacity (0: default)")
+		memoMB   = flag.Int("memo-mb", 256, "memoized-instance byte budget in MB (0: default)")
+		noMemo   = flag.Bool("no-memo", false, "disable oracle memoization")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache")
+		probes   = flag.Int("probes", 256, "monotonicity probes per submitted job (0: exhaustive)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("moldschedd: ")
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		ResultCacheCap: *cacheCap,
+		MemoCap:        *memoCap,
+		MemoBudgetMB:   *memoMB,
+		NoMemoize:      *noMemo,
+		NoResultCache:  *noCache,
+	})
+	defer svc.Close()
+
+	out := &writer{enc: json.NewEncoder(os.Stdout)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28) // table-backed instances can be large
+	var pending sync.WaitGroup // all async handlers
+	var submits sync.WaitGroup // submit handlers only; see the result case
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			out.send(response{Op: "error", Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		switch req.Op {
+		case "submit":
+			// Validation (O(probes) per job) must not stall request
+			// intake; handle off the read loop like result-wait. Clients
+			// correlate the reply by tag.
+			pending.Add(1)
+			submits.Add(1)
+			go func(req request) {
+				defer pending.Done()
+				defer submits.Done()
+				handleSubmit(svc, out, req, *probes)
+			}(req)
+		case "result":
+			if req.Wait {
+				// Waiting must not block the read loop: answer from a
+				// goroutine; the response carries the id. Let submits
+				// read before this request land first, so a sequential
+				// script (submit, then result for its ticket) never
+				// races the async submit handler.
+				pending.Add(1)
+				go func(id uint64) {
+					defer pending.Done()
+					submits.Wait()
+					res, ok := svc.Wait(id)
+					sendResult(out, id, res, ok, true)
+				}(req.ID)
+			} else {
+				res, done, known := svc.Poll(req.ID)
+				sendResult(out, req.ID, res, known, done)
+			}
+		case "stats":
+			st := svc.Stats()
+			out.send(response{Op: "stats", Tag: req.Tag, Stats: &st})
+		case "shutdown":
+			pending.Wait()
+			out.send(response{Op: "shutdown", Tag: req.Tag})
+			return
+		default:
+			out.send(response{Op: "error", Tag: req.Tag, Error: fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+	pending.Wait()
+}
+
+func handleSubmit(svc *service.Scheduler, out *writer, req request, probes int) {
+	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
+	if err != nil {
+		out.send(response{Op: "submit", Tag: req.Tag, Error: err.Error()})
+		return
+	}
+	in, err := moldable.UnmarshalInstance(req.Instance)
+	if err != nil {
+		out.send(response{Op: "submit", Tag: req.Tag, Error: fmt.Sprintf("bad instance: %v", err)})
+		return
+	}
+	if err := in.Validate(probes); err != nil {
+		out.send(response{Op: "submit", Tag: req.Tag, Error: fmt.Sprintf("invalid instance: %v", err)})
+		return
+	}
+	id := svc.Submit(in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
+	out.send(response{Op: "submit", Tag: req.Tag, ID: id})
+}
+
+func sendResult(out *writer, id uint64, res service.Result, known, done bool) {
+	if !known {
+		out.send(response{Op: "result", ID: id, Error: "unknown or already-collected ticket"})
+		return
+	}
+	resp := response{Op: "result", ID: id, Done: &done}
+	if !done {
+		out.send(resp)
+		return
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		out.send(resp)
+		return
+	}
+	resp.Cached = res.Cached
+	rep := res.Report
+	resp.Algorithm = rep.Algorithm.String()
+	resp.Makespan = rep.Makespan
+	resp.LowerBound = rep.LowerBound
+	resp.Ratio = rep.Ratio
+	resp.Iterations = rep.Iterations
+	resp.ElapsedMS = float64(rep.Elapsed.Microseconds()) / 1000
+	resp.Allot = res.Schedule.Allotment(len(res.Schedule.Placements))
+	out.send(resp)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -13,23 +13,39 @@ type BatchResult struct {
 	Err      error
 }
 
-// ScheduleMany schedules independent instances concurrently (the
-// algorithms themselves stay sequential; batches — parameter sweeps,
-// experiment campaigns, per-queue scheduling — are embarrassingly
-// parallel). workers ≤ 0 selects GOMAXPROCS.
+// ScheduleMany schedules independent instances on a sharded work-queue
+// pool (the algorithms themselves stay sequential; batches — parameter
+// sweeps, experiment campaigns, per-queue scheduling — are
+// embarrassingly parallel). Errors are reported per instance in the
+// corresponding BatchResult, never by panicking the batch. workers ≤ 0
+// selects GOMAXPROCS. Long-running callers that also need result
+// caching and oracle memoization should use internal/service, which
+// layers both over the same pool.
 func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
 	out := make([]BatchResult, len(ins))
-	parallel.ForEach(len(ins), workers, func(i int) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	pool.Batch(len(ins), nil, func(i int) {
 		s, rep, err := Schedule(ins[i], opt)
 		out[i] = BatchResult{Schedule: s, Report: rep, Err: err}
 	})
 	return out
 }
 
-// ValidateMany validates instances concurrently (per-job monotonicity
-// probing dominates; see moldable.CheckMonotone).
+// ValidateMany validates instances on the pool (per-job monotonicity
+// probing dominates; see moldable.CheckMonotone) and returns the first
+// failure by index order (all instances are still visited).
 func ValidateMany(ins []*moldable.Instance, maxProbes, workers int) error {
-	return parallel.Errors(len(ins), workers, func(i int) error {
-		return ins[i].Validate(maxProbes)
+	errs := make([]error, len(ins))
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	pool.Batch(len(ins), nil, func(i int) {
+		errs[i] = ins[i].Validate(maxProbes)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+// TestScheduleManyErrorPropagation mixes schedulable instances with one
+// that must fail (FPTAS forced outside its m ≥ 16n/ε regime): the
+// failure lands in its own BatchResult and the neighbours still succeed.
+func TestScheduleManyErrorPropagation(t *testing.T) {
+	good := moldable.Random(moldable.GenConfig{N: 8, M: 4096, Seed: 1})
+	bad := moldable.Random(moldable.GenConfig{N: 64, M: 8, Seed: 2}) // m ≪ 16n/ε
+	ins := []*moldable.Instance{good, bad, good}
+	out := ScheduleMany(ins, Options{Algorithm: FPTAS, Eps: 0.5}, 3)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil {
+			t.Errorf("instance %d: unexpected error %v", i, out[i].Err)
+		}
+		if out[i].Schedule == nil || out[i].Report == nil {
+			t.Errorf("instance %d: missing schedule or report", i)
+		} else if err := schedule.Validate(good, out[i].Schedule, schedule.Options{}); err != nil {
+			t.Errorf("instance %d: invalid schedule: %v", i, err)
+		}
+	}
+	if out[1].Err == nil {
+		t.Error("instance 1: expected the FPTAS regime error, got none")
+	}
+	if out[1].Schedule != nil {
+		t.Error("instance 1: failed instance must not carry a schedule")
+	}
+}
+
+// TestValidateManyNonMonotone plants a job with increasing processing
+// times among valid instances: ValidateMany must surface ErrNotMonotone.
+func TestValidateManyNonMonotone(t *testing.T) {
+	good := moldable.Random(moldable.GenConfig{N: 8, M: 64, Seed: 3})
+	bad := &moldable.Instance{M: 64, Jobs: []moldable.Job{
+		moldable.PerfectSpeedup{W: 10},
+		moldable.Table{T: []moldable.Time{1, 5, 9}}, // time increases: not monotone
+	}}
+	err := ValidateMany([]*moldable.Instance{good, bad, good}, 0, 2)
+	if !errors.Is(err, moldable.ErrNotMonotone) {
+		t.Fatalf("ValidateMany = %v, want ErrNotMonotone", err)
+	}
+	if err := ValidateMany([]*moldable.Instance{good, good}, 0, 2); err != nil {
+		t.Fatalf("all-valid batch returned %v", err)
+	}
+}
+
+// TestValidateManyFirstByIndex checks the deterministic-first-error
+// contract with several failing instances.
+func TestValidateManyFirstByIndex(t *testing.T) {
+	mk := func(m int) *moldable.Instance { // invalid: m < 1
+		return &moldable.Instance{M: m, Jobs: []moldable.Job{moldable.Sequential{T: 1}}}
+	}
+	err := ValidateMany([]*moldable.Instance{mk(-7), mk(-9)}, 0, 4)
+	if err == nil || err.Error() != "moldable: m=-7 must be ≥ 1" {
+		t.Fatalf("got %v, want the index-0 error", err)
+	}
+}

@@ -68,7 +68,7 @@ func MinM(n int, eps float64) int {
 // dual binary search, splitting eps evenly between the dual factor and
 // the search slack, for a true (1+eps)-approximation. It returns an error
 // when m < 16n/eps (use the (3/2+ε) algorithms in that regime; see
-// §3.2 and DESIGN.md on the Jansen–Thöle substitution).
+// §3.2 and DESIGN.md §3 on the Jansen–Thöle substitution).
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, dual.Report{}, fmt.Errorf("fptas: eps=%v must be in (0,1]", eps)

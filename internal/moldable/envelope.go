@@ -1,0 +1,45 @@
+package moldable
+
+import "fmt"
+
+// EnvelopeTable is a job backed by raw per-configuration measurements
+// that are not guaranteed monotone (timings scraped from a performance
+// model, a trace store, or benchmark runs): the usable processing time
+// with AT MOST p processors is the running minimum
+//
+//	t(p) = min_{1 ≤ q ≤ min(p, len(Raw))} Raw[q-1],
+//
+// computed by scanning on every call. This is the "non-compact encoding"
+// of the classical literature in its most literal form — each oracle
+// query costs O(p), exactly the cost the paper's compact-oracle model
+// abstracts away. It exists as the stress case for oracle memoization:
+// wrap it in Memoize (the service layer does so automatically) and the
+// amortized query cost drops back to O(1). Contrast MonotoneTable, which
+// pays one up-front O(m) pass at construction instead.
+//
+// The running minimum makes t non-increasing, but work p·t(p) can still
+// decrease if Raw drops faster than 1/p; feed Raw from MonotoneTable (or
+// any monotone source) when the scheduling algorithms' monotonicity
+// assumption must hold, and let Validate check it as usual.
+type EnvelopeTable struct {
+	Raw []Time // Raw[q-1] = measured time on q processors; len ≥ 1
+}
+
+// Time scans Raw[0 : min(p, len(Raw))] for the minimum. Extra processors
+// beyond len(Raw) idle.
+func (e EnvelopeTable) Time(p int) Time {
+	if p > len(e.Raw) {
+		p = len(e.Raw)
+	}
+	t := e.Raw[0]
+	for _, r := range e.Raw[1:p] {
+		if r < t {
+			t = r
+		}
+	}
+	return t
+}
+
+func (e EnvelopeTable) String() string {
+	return fmt.Sprintf("envelope(%d)", len(e.Raw))
+}

@@ -11,15 +11,17 @@ import (
 // serialize their full time list.
 
 type jobJSON struct {
-	Type  string  `json:"type"`
-	Seq   Time    `json:"seq,omitempty"`
-	Par   Time    `json:"par,omitempty"`
-	W     Time    `json:"w,omitempty"`
-	Alpha float64 `json:"alpha,omitempty"`
-	C     Time    `json:"c,omitempty"`
-	T     Time    `json:"t,omitempty"`
-	Times []Time  `json:"times,omitempty"`
-	Max   int     `json:"max,omitempty"`
+	Type   string  `json:"type"`
+	Seq    Time    `json:"seq,omitempty"`
+	Par    Time    `json:"par,omitempty"`
+	W      Time    `json:"w,omitempty"`
+	Alpha  float64 `json:"alpha,omitempty"`
+	C      Time    `json:"c,omitempty"`
+	T      Time    `json:"t,omitempty"`
+	Times  []Time  `json:"times,omitempty"`
+	Procs  []int   `json:"procs,omitempty"`
+	Max    int     `json:"max,omitempty"`
+	Factor Time    `json:"factor,omitempty"`
 }
 
 type instanceJSON struct {
@@ -28,8 +30,8 @@ type instanceJSON struct {
 }
 
 // MarshalInstance encodes the instance as JSON. Wrapped jobs (Scaled,
-// Capped, CountingJob) are flattened where possible; unknown job types
-// are rejected.
+// Capped, CountingJob, Memo) are flattened where possible; unknown job
+// types are rejected.
 func MarshalInstance(in *Instance) ([]byte, error) {
 	out := instanceJSON{M: in.M, Jobs: make([]jobJSON, 0, in.N())}
 	for i, j := range in.Jobs {
@@ -56,14 +58,35 @@ func encodeJob(j Job) (jobJSON, error) {
 		return jobJSON{Type: "comm", W: v.W, C: v.C}, nil
 	case Table:
 		return jobJSON{Type: "table", Times: v.T}, nil
+	case EnvelopeTable:
+		return jobJSON{Type: "envelope", Times: v.Raw}, nil
+	case Piecewise:
+		return jobJSON{Type: "piecewise", Procs: v.Procs, Times: v.Times}, nil
 	case Capped:
 		inner, err := encodeJob(v.J)
 		if err != nil {
 			return jobJSON{}, err
 		}
-		inner.Max = v.Max
+		// Nested caps compose by taking the tighter one.
+		if inner.Max == 0 || v.Max < inner.Max {
+			inner.Max = v.Max
+		}
+		return inner, nil
+	case Scaled:
+		// Scaling commutes with capping and composes multiplicatively, so
+		// nested wrappers flatten into one factor on the inner job.
+		inner, err := encodeJob(v.J)
+		if err != nil {
+			return jobJSON{}, err
+		}
+		if inner.Factor == 0 {
+			inner.Factor = 1
+		}
+		inner.Factor *= v.Factor
 		return inner, nil
 	case *CountingJob:
+		return encodeJob(v.J)
+	case *Memo:
 		return encodeJob(v.J)
 	default:
 		return jobJSON{}, fmt.Errorf("moldable: cannot serialize job type %T", j)
@@ -105,11 +128,25 @@ func decodeJob(jj jobJSON) (Job, error) {
 			return nil, fmt.Errorf("moldable: table job with no times")
 		}
 		j = Table{T: jj.Times}
+	case "envelope":
+		if len(jj.Times) == 0 {
+			return nil, fmt.Errorf("moldable: envelope job with no times")
+		}
+		j = EnvelopeTable{Raw: jj.Times}
+	case "piecewise":
+		pw, err := NewPiecewise(jj.Procs, jj.Times)
+		if err != nil {
+			return nil, err
+		}
+		j = pw
 	default:
 		return nil, fmt.Errorf("moldable: unknown job type %q", jj.Type)
 	}
 	if jj.Max > 0 {
 		j = Capped{J: j, Max: jj.Max}
+	}
+	if jj.Factor > 0 && jj.Factor != 1 {
+		j = Scaled{J: j, Factor: jj.Factor}
 	}
 	return j, nil
 }

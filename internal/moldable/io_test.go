@@ -36,6 +36,36 @@ func TestInstanceJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestScaledPiecewiseRoundTrip(t *testing.T) {
+	pw, err := NewPiecewise([]int{1, 4, 16}, []Time{12, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Instance{M: 64, Jobs: []Job{
+		pw,
+		Scaled{J: Amdahl{Seq: 1, Par: 9}, Factor: 2.5},
+		Scaled{J: Scaled{J: Sequential{T: 4}, Factor: 3}, Factor: 0.5}, // nested: factors compose
+		Scaled{J: Capped{J: PerfectSpeedup{W: 64}, Max: 8}, Factor: 2},
+		Capped{J: Scaled{J: Capped{J: PerfectSpeedup{W: 64}, Max: 4}, Factor: 2}, Max: 10}, // nested caps: tighter wins
+	}}
+	data, err := MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Jobs {
+		for _, p := range []int{1, 3, 8, 64} {
+			a, b := in.Jobs[i].Time(p), back.Jobs[i].Time(p)
+			if a != b {
+				t.Errorf("job %d Time(%d): %v != %v after round trip", i, p, a, b)
+			}
+		}
+	}
+}
+
 func TestCountingJobSerializesAsInner(t *testing.T) {
 	in := &Instance{M: 4, Jobs: []Job{&CountingJob{J: Sequential{T: 2}}}}
 	data, err := MarshalInstance(in)

@@ -1,13 +1,23 @@
-// Package parallel provides the small shared-memory parallelism
-// utilities used by the batch entry points and the experiment harness:
-// a bounded fork-join ForEach over index ranges with contiguous
-// chunking (one chunk per worker, so false sharing across neighbouring
-// indices stays within a worker), and a Map built on it.
+// Package parallel provides the shared-memory parallelism utilities of
+// the repo, in two tiers:
+//
+//   - Fork-join (ForEach, Map, Errors): a bounded loop over an index
+//     range with contiguous chunking (one chunk per worker, so false
+//     sharing across neighbouring indices stays within a worker) and
+//     zero per-index overhead. The right tool for one-shot in-memory
+//     sweeps where each iteration is cheap.
+//   - The sharded work-queue Pool: long-lived workers, bounded queues,
+//     key-affine routing, and batch/drain semantics, at the cost of a
+//     channel round-trip per task. The substrate for the batch entry
+//     points (core.ScheduleMany/ValidateMany) and the serving layer
+//     (internal/service), where tasks are entire Schedule calls and
+//     affinity/caching matter more than per-task overhead.
 //
 // The scheduling algorithms themselves are sequential — their inner
 // loops are dominated by O(log m) binary searches that do not amortize
 // goroutine overhead — but instance validation, γ precomputation over
-// many thresholds, and experiment sweeps are embarrassingly parallel.
+// many thresholds, experiment sweeps, and independent scheduling
+// requests are embarrassingly parallel.
 package parallel
 
 import (

@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a sharded work-queue executor: n worker goroutines, each
+// owning one bounded queue (shard). Tasks are routed to a shard by
+// caller-supplied affinity key, so tasks sharing a key run on one
+// worker, in submission order. internal/service keys by canonical
+// instance hash, which turns concurrent duplicate submissions into a
+// compute-then-cache-hit sequence instead of a stampede, and keeps a
+// memoized instance's oracle cache on one worker's timeline. Unlike
+// ForEach, a Pool outlives any one batch: it is the substrate for
+// long-running services that interleave asynchronous submissions with
+// synchronous batches.
+//
+// Submit blocks when the target shard's queue is full (backpressure).
+// Tasks must not Submit to the pool they run on — with every worker
+// blocked on a full sibling queue that deadlocks; task-spawned work
+// belongs at the caller's level.
+type Pool struct {
+	shards  []chan func()
+	workers sync.WaitGroup
+	// In-flight accounting uses a condition variable, not a WaitGroup:
+	// Submit and Drain may race from different goroutines with the
+	// counter passing through zero, which WaitGroup forbids.
+	mu        sync.Mutex
+	cond      sync.Cond
+	inflight  int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	closed    atomic.Bool
+}
+
+// queueCap bounds each shard's queue; beyond it Submit blocks.
+const queueCap = 256
+
+// NewPool starts a pool of workers one-queue-per-worker shards
+// (workers ≤ 0 selects GOMAXPROCS). Close must be called to release
+// the workers.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	p := &Pool{shards: make([]chan func(), w)}
+	p.cond.L = &p.mu
+	for i := range p.shards {
+		ch := make(chan func(), queueCap)
+		p.shards[i] = ch
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn on the shard selected by key, blocking if that
+// queue is full. fn runs on the shard's worker; Submit does not wait
+// for it. Submit must not be called concurrently with or after Close.
+func (p *Pool) Submit(key uint64, fn func()) {
+	if p.closed.Load() {
+		panic("parallel: Submit on closed Pool")
+	}
+	p.submitted.Add(1)
+	p.mu.Lock()
+	p.inflight++
+	p.mu.Unlock()
+	p.shards[p.shard(key)] <- func() {
+		defer func() {
+			p.completed.Add(1)
+			p.mu.Lock()
+			p.inflight--
+			if p.inflight == 0 {
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+		}()
+		fn()
+	}
+}
+
+// shard maps an affinity key to a shard index (Fibonacci hashing, so
+// dense sequential keys still spread evenly).
+func (p *Pool) shard(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15) % uint64(len(p.shards)))
+}
+
+// Drain blocks until every task submitted so far has completed. Other
+// goroutines may keep submitting; their tasks extend the wait.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Batch runs fn(i) for i in [0, n) on the pool, routing each index by
+// key(i) (nil keys route by index), and returns when all n calls have
+// completed. Concurrent batches on one pool interleave safely: Batch
+// waits only on its own tasks, not on Drain.
+func (p *Pool) Batch(n int, key func(i int) uint64, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		k := uint64(i)
+		if key != nil {
+			k = key(i)
+		}
+		p.Submit(k, func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}
+
+// Stats returns the cumulative submitted and completed task counts.
+func (p *Pool) Stats() (submitted, completed int64) {
+	return p.submitted.Load(), p.completed.Load()
+}
+
+// Close waits for in-flight tasks and stops the workers. Submitting
+// after Close panics.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.Drain()
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.workers.Wait()
+}

@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		i := i
+		p.Submit(uint64(i), func() { sum.Add(int64(i)) })
+	}
+	p.Drain()
+	if got, want := sum.Load(), int64(n*(n+1)/2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if sub, done := p.Stats(); sub != n || done != n {
+		t.Fatalf("Stats() = (%d, %d), want (%d, %d)", sub, done, n, n)
+	}
+}
+
+func TestPoolKeyAffinity(t *testing.T) {
+	// All tasks sharing one key must run sequentially (single shard
+	// queue), so an unsynchronized counter is safe and ordered.
+	p := NewPool(8)
+	defer p.Close()
+	seq := make([]int, 0, 500)
+	for i := 0; i < 500; i++ {
+		i := i
+		p.Submit(42, func() { seq = append(seq, i) })
+	}
+	p.Drain()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("same-key tasks ran out of order: seq[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPoolBatch(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	out := make([]int, 1000)
+	p.Batch(len(out), nil, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestPoolConcurrentBatches interleaves batches and loose submissions
+// from many goroutines; run with -race (CI does).
+func TestPoolConcurrentBatches(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				p.Batch(200, func(i int) uint64 { return uint64(g) }, func(i int) { total.Add(1) })
+			} else {
+				for i := 0; i < 200; i++ {
+					p.Submit(uint64(i), func() { total.Add(1) })
+				}
+				p.Drain()
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Drain()
+	if got := total.Load(); got != 1200 {
+		t.Fatalf("ran %d tasks, want 1200", got)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(1, func() {})
+	p.Close()
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Close must panic")
+		}
+	}()
+	p.Submit(2, func() {})
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+)
+
+// Canonical instance hashing. Two instances that are structurally equal
+// (same m, same job parameters in the same order) hash to the same
+// 64-bit key, which drives all the sharing in this package: the result
+// cache, the memoized-instance registry, and work-queue shard affinity.
+// The hash streams job parameters directly into a maphash (seeded per
+// Scheduler) — no intermediate serialization, so hashing a table-backed
+// instance costs one pass over its entries, negligible next to a single
+// oracle-driven Schedule call. Wrappers that don't change oracle values
+// (CountingJob, Memo) are hashed as their inner job; job types without a
+// canonical encoding report ok=false and bypass all caches.
+//
+// Collisions: keys are 64-bit, so two distinct live instances colliding
+// takes ~2³² cached instances (the registry holds a few hundred); the
+// worst case is serving a result for the colliding twin, the same
+// accepted risk as any content-addressed cache.
+
+type hasher struct {
+	seed maphash.Seed
+}
+
+func newHasher() hasher { return hasher{seed: maphash.MakeSeed()} }
+
+// instanceKey returns the canonical content hash of (m, jobs), with
+// ok=false when some job type has no canonical encoding.
+func (h hasher) instanceKey(in *moldable.Instance) (key uint64, ok bool) {
+	var mh maphash.Hash
+	mh.SetSeed(h.seed)
+	writeUint(&mh, uint64(in.M))
+	writeUint(&mh, uint64(in.N()))
+	for _, j := range in.Jobs {
+		if !writeJob(&mh, j) {
+			return 0, false
+		}
+	}
+	return mh.Sum64(), true
+}
+
+// resultKey extends an instance key with the scheduling options, keying
+// the result cache (same instance, different ε or algorithm → different
+// schedule, but still one shared oracle memo).
+func (h hasher) resultKey(instKey uint64, opt core.Options) uint64 {
+	var mh maphash.Hash
+	mh.SetSeed(h.seed)
+	writeUint(&mh, instKey)
+	writeUint(&mh, uint64(opt.Algorithm))
+	writeFloat(&mh, opt.Eps)
+	if opt.Validate {
+		writeUint(&mh, 1)
+	} else {
+		writeUint(&mh, 0)
+	}
+	return mh.Sum64()
+}
+
+func writeUint(mh *maphash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	mh.Write(buf[:])
+}
+
+func writeFloat(mh *maphash.Hash, f float64) {
+	writeUint(mh, math.Float64bits(f))
+}
+
+// writeJob streams a type tag plus the job's parameters; false means
+// the type has no canonical encoding (mirrors the job set of
+// moldable's JSON wire format).
+func writeJob(mh *maphash.Hash, j moldable.Job) bool {
+	switch v := j.(type) {
+	case moldable.Amdahl:
+		writeUint(mh, 1)
+		writeFloat(mh, v.Seq)
+		writeFloat(mh, v.Par)
+	case moldable.Power:
+		writeUint(mh, 2)
+		writeFloat(mh, v.W)
+		writeFloat(mh, v.Alpha)
+	case moldable.PerfectSpeedup:
+		writeUint(mh, 3)
+		writeFloat(mh, v.W)
+	case moldable.Sequential:
+		writeUint(mh, 4)
+		writeFloat(mh, v.T)
+	case moldable.Comm:
+		writeUint(mh, 5)
+		writeFloat(mh, v.W)
+		writeFloat(mh, v.C)
+	case moldable.Table:
+		writeUint(mh, 6)
+		writeUint(mh, uint64(len(v.T)))
+		for _, t := range v.T {
+			writeFloat(mh, t)
+		}
+	case moldable.EnvelopeTable:
+		writeUint(mh, 7)
+		writeUint(mh, uint64(len(v.Raw)))
+		for _, t := range v.Raw {
+			writeFloat(mh, t)
+		}
+	case moldable.Piecewise:
+		writeUint(mh, 8)
+		writeUint(mh, uint64(len(v.Procs)))
+		for i := range v.Procs {
+			writeUint(mh, uint64(v.Procs[i]))
+			writeFloat(mh, v.Times[i])
+		}
+	case moldable.Capped:
+		writeUint(mh, 9)
+		writeUint(mh, uint64(v.Max))
+		return writeJob(mh, v.J)
+	case moldable.Scaled:
+		writeUint(mh, 10)
+		writeFloat(mh, v.Factor)
+		return writeJob(mh, v.J)
+	case *moldable.CountingJob:
+		return writeJob(mh, v.J)
+	case *moldable.Memo:
+		return writeJob(mh, v.J)
+	default:
+		return false
+	}
+	return true
+}

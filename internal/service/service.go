@@ -1,0 +1,296 @@
+// Package service is the serving layer over core.Schedule: a
+// long-running, high-throughput batch scheduling subsystem (see
+// DESIGN.md §5). It composes three mechanisms, all keyed by the same
+// canonical instance hash:
+//
+//   - oracle memoization (moldable.Memo): every instance is scheduled
+//     through a memoized twin, so the O(log m) binary searches of the
+//     estimator and the dual calls stop re-evaluating the same t_j(p)
+//     points — within one Schedule call and, via a bounded registry of
+//     memoized instances, across repeated submissions of the same
+//     instance under any options;
+//   - a bounded, sharded result cache: structurally identical
+//     (instance, options) submissions are answered without scheduling
+//     at all;
+//   - a sharded work-queue pool (parallel.Pool) with hash-affine
+//     routing: duplicate submissions land on one worker in order, so a
+//     burst of the same instance computes once and then hits the cache
+//     instead of stampeding.
+//
+// Submissions are asynchronous (Submit returns a ticket; Wait/Poll
+// collect) with synchronous conveniences (Do, DoBatch) on top.
+// cmd/moldschedd exposes this package as a JSON-lines daemon.
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/parallel"
+	"repro/internal/schedule"
+)
+
+// Config sizes the scheduler. The zero value is a sensible default.
+type Config struct {
+	Workers        int  // pool workers; ≤ 0 selects GOMAXPROCS
+	CacheShards    int  // result-cache shards; ≤ 0 selects 8
+	ResultCacheCap int  // max cached results; ≤ 0 selects 1024
+	MemoCap        int  // max memoized instances retained; ≤ 0 selects 256
+	MemoBudgetMB   int  // max estimated MB of retained memo tables; ≤ 0 selects 256
+	TicketCap      int  // max completed-but-uncollected tickets retained; ≤ 0 selects 4096
+	NoMemoize      bool // disable oracle memoization (benchmark baseline)
+	NoResultCache  bool // disable the result cache
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	if c.ResultCacheCap <= 0 {
+		c.ResultCacheCap = 1024
+	}
+	if c.MemoCap <= 0 {
+		c.MemoCap = 256
+	}
+	if c.MemoBudgetMB <= 0 {
+		c.MemoBudgetMB = 256
+	}
+	if c.TicketCap <= 0 {
+		c.TicketCap = 4096
+	}
+	return c
+}
+
+// Result is the outcome of one submission. Schedule and Report may be
+// shared with the result cache and with other callers (the first
+// computation's pointers are the ones cached); treat both as read-only
+// regardless of Cached. Use Schedule.Clone when mutation is needed.
+type Result struct {
+	Schedule *schedule.Schedule
+	Report   *core.Report
+	Err      error
+	Cached   bool // served from the result cache
+}
+
+// Stats is a snapshot of the scheduler's counters. The JSON names are
+// part of the moldschedd wire protocol.
+type Stats struct {
+	Submitted  int64 `json:"submitted"`   // total submissions
+	Completed  int64 `json:"completed"`   // finished submissions (including cache hits and errors)
+	Pending    int64 `json:"pending"`     // submitted but not yet finished
+	Errors     int64 `json:"errors"`      // submissions that finished with an error
+	ResultHits int64 `json:"result_hits"` // submissions answered from the result cache
+
+	OracleHits   int64 `json:"oracle_hits"`   // memoized oracle evaluations served from cache
+	OracleMisses int64 `json:"oracle_misses"` // memoized oracle evaluations that hit the wrapped job
+
+	MemoizedInstances int `json:"memoized_instances"` // instances currently retained in the memo registry
+	CachedResults     int `json:"cached_results"`     // results currently retained in the result cache
+}
+
+// Scheduler is the service. Create with New, release with Close. All
+// methods are safe for concurrent use.
+type Scheduler struct {
+	cfg     Config
+	h       hasher
+	pool    *parallel.Pool
+	results *resultCache
+	memos   *memoRegistry
+	tasks   sync.Map    // ticket → *task
+	retired chan uint64 // FIFO of completed tickets, bounding uncollected retention
+	nextID  atomic.Uint64
+
+	submitted, completed, failures, resultHits atomic.Int64
+	looseHits, looseMisses                     atomic.Int64 // memo stats of uncacheable instances
+}
+
+type task struct {
+	res  Result
+	done chan struct{}
+}
+
+// New starts a scheduler.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		cfg:     cfg,
+		h:       newHasher(),
+		pool:    parallel.NewPool(cfg.Workers),
+		results: newResultCache(cfg.CacheShards, cfg.ResultCacheCap),
+		memos:   newMemoRegistry(cfg.MemoCap, int64(cfg.MemoBudgetMB)<<20),
+		retired: make(chan uint64, cfg.TicketCap),
+	}
+}
+
+// Close drains in-flight work and stops the workers. Submit after Close
+// panics; pending tickets remain collectable.
+func (s *Scheduler) Close() { s.pool.Close() }
+
+// Submit enqueues the instance and returns a ticket for Wait/Poll. The
+// instance must not be mutated afterwards. Result-cache hits complete
+// the ticket immediately without touching the pool.
+//
+// Completed results are retained until collected, up to TicketCap
+// uncollected tickets; beyond that the oldest uncollected results are
+// dropped (their tickets then report unknown). Fire-and-forget callers
+// therefore don't leak; callers that collect always see their result
+// if they stay within TicketCap of the completion front.
+func (s *Scheduler) Submit(in *moldable.Instance, opt core.Options) uint64 {
+	id := s.nextID.Add(1)
+	t := &task{done: make(chan struct{})}
+	s.tasks.Store(id, t)
+	s.submitted.Add(1)
+
+	key, canon := s.h.instanceKey(in)
+	rkey := uint64(0)
+	if canon {
+		rkey = s.h.resultKey(key, opt)
+		if !s.cfg.NoResultCache {
+			if r, ok := s.results.get(rkey); ok {
+				r.Cached = true
+				s.resultHits.Add(1)
+				s.finish(id, t, r)
+				return id
+			}
+		}
+	} else {
+		// No canonical hash: spread by ticket so unhashable submissions
+		// don't all serialize onto one shard.
+		key = id
+	}
+	s.pool.Submit(key, func() { s.run(id, t, in, opt, key, rkey, canon) })
+	return id
+}
+
+// run executes one submission on a pool worker.
+func (s *Scheduler) run(id uint64, t *task, in *moldable.Instance, opt core.Options, key, rkey uint64, canon bool) {
+	// Re-check the cache: a key-mate submitted moments earlier may have
+	// just computed this exact result (shard affinity serialized us
+	// behind it).
+	if canon && !s.cfg.NoResultCache {
+		if r, ok := s.results.get(rkey); ok {
+			r.Cached = true
+			s.resultHits.Add(1)
+			s.finish(id, t, r)
+			return
+		}
+	}
+	exec := in
+	var looseStats func() (int64, int64)
+	if !s.cfg.NoMemoize {
+		if canon {
+			exec = s.memos.get(key, in)
+		} else {
+			exec, looseStats = moldable.MemoizeInstance(in)
+		}
+	}
+	sched, rep, err := core.Schedule(exec, opt)
+	if looseStats != nil {
+		h, m := looseStats()
+		s.looseHits.Add(h)
+		s.looseMisses.Add(m)
+	}
+	r := Result{Schedule: sched, Report: rep, Err: err}
+	if err == nil && canon && !s.cfg.NoResultCache {
+		s.results.put(rkey, r)
+	}
+	s.finish(id, t, r)
+}
+
+func (s *Scheduler) finish(id uint64, t *task, r Result) {
+	if r.Err != nil {
+		s.failures.Add(1)
+	}
+	t.res = r
+	s.completed.Add(1)
+	close(t.done)
+	// Bound completed-but-uncollected retention: push this ticket onto
+	// the retirement FIFO, evicting the oldest when full. Evicting a
+	// ticket that was already collected (Wait/Poll deleted it) is a
+	// harmless no-op.
+	for {
+		select {
+		case s.retired <- id:
+			return
+		default:
+			select {
+			case old := <-s.retired:
+				s.tasks.Delete(old)
+			default:
+			}
+		}
+	}
+}
+
+// Wait blocks until the ticket completes and returns its result,
+// releasing the ticket. Unknown (or already-collected) tickets return
+// ok=false.
+func (s *Scheduler) Wait(id uint64) (Result, bool) {
+	v, ok := s.tasks.Load(id)
+	if !ok {
+		return Result{}, false
+	}
+	t := v.(*task)
+	<-t.done
+	s.tasks.Delete(id)
+	return t.res, true
+}
+
+// Poll returns the ticket's result without blocking. done reports
+// completion (the ticket is released when done); known distinguishes a
+// pending ticket from an unknown one.
+func (s *Scheduler) Poll(id uint64) (res Result, done, known bool) {
+	v, ok := s.tasks.Load(id)
+	if !ok {
+		return Result{}, false, false
+	}
+	t := v.(*task)
+	select {
+	case <-t.done:
+		s.tasks.Delete(id)
+		return t.res, true, true
+	default:
+		return Result{}, false, true
+	}
+}
+
+// Do schedules synchronously through the service (cache, memo, and
+// queue affinity included).
+func (s *Scheduler) Do(in *moldable.Instance, opt core.Options) Result {
+	r, _ := s.Wait(s.Submit(in, opt))
+	return r
+}
+
+// DoBatch submits every instance and waits for all results, in order.
+// It is the service-grade sibling of core.ScheduleMany: same fan-out,
+// plus dedup, result caching, and shared oracle memos.
+func (s *Scheduler) DoBatch(ins []*moldable.Instance, opt core.Options) []Result {
+	ids := make([]uint64, len(ins))
+	for i, in := range ins {
+		ids[i] = s.Submit(in, opt)
+	}
+	out := make([]Result, len(ins))
+	for i, id := range ids {
+		out[i], _ = s.Wait(id)
+	}
+	return out
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() Stats {
+	hits, misses := s.memos.stats()
+	st := Stats{
+		Submitted:         s.submitted.Load(),
+		Completed:         s.completed.Load(),
+		Errors:            s.failures.Load(),
+		ResultHits:        s.resultHits.Load(),
+		OracleHits:        hits + s.looseHits.Load(),
+		OracleMisses:      misses + s.looseMisses.Load(),
+		MemoizedInstances: s.memos.len(),
+		CachedResults:     s.results.len(),
+	}
+	st.Pending = st.Submitted - st.Completed
+	return st
+}

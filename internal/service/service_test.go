@@ -1,0 +1,290 @@
+package service
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+)
+
+func testInstance(seed uint64) *moldable.Instance {
+	return moldable.Random(moldable.GenConfig{N: 24, M: 512, Seed: seed})
+}
+
+func TestDoMatchesCore(t *testing.T) {
+	in := testInstance(1)
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.25}
+	want, _, err := core.Schedule(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	defer s.Close()
+	r := s.Do(in, opt)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := r.Schedule.Makespan(); got != want.Makespan() {
+		t.Fatalf("service makespan %v, core makespan %v", got, want.Makespan())
+	}
+	if err := schedule.Validate(in, r.Schedule, schedule.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultCacheHit(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.25}
+	// Structurally equal but distinct instances must share one cache line.
+	r1 := s.Do(testInstance(2), opt)
+	r2 := s.Do(testInstance(2), opt)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	if r1.Cached {
+		t.Error("first submission reported Cached")
+	}
+	if !r2.Cached {
+		t.Error("repeated submission missed the result cache")
+	}
+	if r1.Schedule.Makespan() != r2.Schedule.Makespan() {
+		t.Error("cached result differs from computed result")
+	}
+	st := s.Stats()
+	if st.ResultHits != 1 || st.Submitted != 2 || st.Completed != 2 {
+		t.Errorf("stats = %+v, want 1 hit over 2 submissions", st)
+	}
+}
+
+// TestMemoSharedAcrossOptions re-schedules one instance under different
+// ε: result keys differ (no cache hit) but the oracle memo is shared,
+// so the second run must produce hits.
+func TestMemoSharedAcrossOptions(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	in := testInstance(3)
+	if r := s.Do(in, core.Options{Algorithm: core.Linear, Eps: 0.5}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	before := s.Stats()
+	if r := s.Do(in, core.Options{Algorithm: core.Linear, Eps: 0.25}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := s.Stats()
+	if st.ResultHits != 0 {
+		t.Errorf("different options must not share results (hits=%d)", st.ResultHits)
+	}
+	if st.MemoizedInstances != 1 {
+		t.Errorf("MemoizedInstances = %d, want 1", st.MemoizedInstances)
+	}
+	if st.OracleHits <= before.OracleHits {
+		t.Errorf("second run added no oracle hits (%d → %d)", before.OracleHits, st.OracleHits)
+	}
+}
+
+func TestSubmitWaitPoll(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, ok := s.Wait(999); ok {
+		t.Error("Wait(unknown) returned ok")
+	}
+	if _, _, known := s.Poll(999); known {
+		t.Error("Poll(unknown) returned known")
+	}
+	id := s.Submit(testInstance(4), core.Options{Algorithm: core.LT2})
+	for {
+		res, done, known := s.Poll(id)
+		if !known {
+			t.Fatal("ticket vanished before collection")
+		}
+		if done {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			break
+		}
+	}
+	if _, _, known := s.Poll(id); known {
+		t.Error("collected ticket must be released")
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	// FPTAS outside its regime fails deterministically.
+	bad := moldable.Random(moldable.GenConfig{N: 64, M: 8, Seed: 5})
+	opt := core.Options{Algorithm: core.FPTAS, Eps: 0.5}
+	r1 := s.Do(bad, opt)
+	r2 := s.Do(bad, opt)
+	if r1.Err == nil || r2.Err == nil {
+		t.Fatal("expected FPTAS regime errors")
+	}
+	if r2.Cached {
+		t.Error("errors must not be served from the result cache")
+	}
+	if st := s.Stats(); st.Errors != 2 || st.CachedResults != 0 {
+		t.Errorf("stats = %+v, want 2 errors and nothing cached", st)
+	}
+}
+
+func TestDisabledCaches(t *testing.T) {
+	s := New(Config{NoMemoize: true, NoResultCache: true})
+	defer s.Close()
+	in := testInstance(6)
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.25}
+	r1, r2 := s.Do(in, opt), s.Do(in, opt)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	if r2.Cached {
+		t.Error("NoResultCache still served a cached result")
+	}
+	st := s.Stats()
+	if st.OracleHits != 0 || st.OracleMisses != 0 || st.MemoizedInstances != 0 {
+		t.Errorf("NoMemoize still memoized: %+v", st)
+	}
+}
+
+// oddJob has no canonical encoding: submissions must bypass the caches
+// but still schedule correctly.
+type oddJob struct{ w moldable.Time }
+
+func (o oddJob) Time(p int) moldable.Time { return o.w / moldable.Time(p) }
+
+func TestUncacheableInstance(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	in := &moldable.Instance{M: 64, Jobs: []moldable.Job{oddJob{w: 100}, oddJob{w: 50}}}
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.25}
+	r1, r2 := s.Do(in, opt), s.Do(in, opt)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	if r2.Cached {
+		t.Error("uncacheable instance got a cache hit")
+	}
+	st := s.Stats()
+	if st.CachedResults != 0 || st.MemoizedInstances != 0 {
+		t.Errorf("uncacheable instance left cache residue: %+v", st)
+	}
+	if st.OracleMisses == 0 {
+		t.Error("per-submission memo stats were not folded into Stats")
+	}
+}
+
+func TestDoBatchOrder(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ins := make([]*moldable.Instance, 16)
+	for i := range ins {
+		ins[i] = testInstance(uint64(100 + i%4)) // duplicates included
+	}
+	out := s.DoBatch(ins, core.Options{Algorithm: core.Linear, Eps: 0.25})
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		want, _, _ := core.Schedule(ins[i], core.Options{Algorithm: core.Linear, Eps: 0.25})
+		if r.Schedule.Makespan() != want.Makespan() {
+			t.Fatalf("instance %d: makespan %v, want %v", i, r.Schedule.Makespan(), want.Makespan())
+		}
+	}
+	if st := s.Stats(); st.ResultHits == 0 {
+		t.Error("duplicate-heavy batch produced no result-cache hits")
+	}
+}
+
+// TestMemoEvictionKeepsStatsMonotone overflows a tiny memo registry and
+// checks that (a) retention respects both the entry cap and the byte
+// budget and (b) the cumulative oracle counters never decrease when
+// entries are evicted (the moldschedd stats contract).
+func TestMemoEvictionKeepsStatsMonotone(t *testing.T) {
+	s := New(Config{MemoCap: 2, MemoBudgetMB: 1})
+	defer s.Close()
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.5}
+	var lastMisses int64
+	for i := 0; i < 6; i++ {
+		if r := s.Do(testInstance(uint64(40+i)), opt); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		st := s.Stats()
+		if st.OracleMisses < lastMisses {
+			t.Fatalf("OracleMisses decreased after eviction: %d → %d", lastMisses, st.OracleMisses)
+		}
+		if st.OracleMisses <= lastMisses {
+			t.Fatalf("fresh instance %d produced no new misses", i)
+		}
+		lastMisses = st.OracleMisses
+		if st.MemoizedInstances > 2 {
+			t.Fatalf("registry holds %d entries, cap is 2", st.MemoizedInstances)
+		}
+	}
+}
+
+// TestTicketCapBoundsUncollected fire-and-forget submits past the
+// ticket cap: the oldest uncollected tickets must be dropped (reported
+// unknown) while the newest remain collectable.
+func TestTicketCapBoundsUncollected(t *testing.T) {
+	s := New(Config{TicketCap: 4})
+	defer s.Close()
+	opt := core.Options{Algorithm: core.LT2}
+	ids := make([]uint64, 10)
+	for i := range ids {
+		ids[i] = s.Submit(testInstance(uint64(60+i)), opt)
+	}
+	s.pool.Drain()
+	if _, done, k := s.Poll(ids[len(ids)-1]); !k || !done {
+		t.Fatal("newest ticket must survive the cap")
+	}
+	known := 0
+	for _, id := range ids[:len(ids)-1] {
+		if _, _, k := s.Poll(id); k {
+			known++
+		}
+	}
+	if known > 4 { // at most TicketCap uncollected tickets retained
+		t.Fatalf("%d uncollected tickets retained, cap is 4", known)
+	}
+}
+
+// TestConcurrentSubmitters hammers one scheduler from many goroutines
+// with a mix of repeated and fresh instances; run with -race (CI does).
+func TestConcurrentSubmitters(t *testing.T) {
+	s := New(Config{Workers: 8})
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0))
+			for i := 0; i < 30; i++ {
+				in := testInstance(uint64(rng.IntN(5))) // heavy duplication across goroutines
+				eps := []float64{0.5, 0.25}[rng.IntN(2)]
+				r := s.Do(in, core.Options{Algorithm: core.Linear, Eps: eps})
+				if r.Err != nil {
+					errs <- r.Err
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != 240 || st.Pending != 0 {
+		t.Fatalf("stats = %+v, want 240 completed", st)
+	}
+	if st.ResultHits == 0 || st.OracleHits == 0 {
+		t.Errorf("concurrent duplicates produced no sharing: %+v", st)
+	}
+}

@@ -10,7 +10,7 @@
 // knapsack-with-compressible-items toolbox (Algorithm 2 / Theorem 15).
 //
 // The root package is a thin facade; the implementation lives under
-// internal/ (see DESIGN.md for the system inventory):
+// internal/ (see DESIGN.md §1 for the system inventory):
 //
 //	in := &moldable.Instance{M: 1 << 20, Jobs: []moldable.Job{
 //	    moldable.Amdahl{Seq: 2, Par: 98},
@@ -20,9 +20,14 @@
 //
 // Entry points:
 //
-//	Schedule    — algorithm selection per core.Options (Auto by default)
-//	TwoApprox   — the classical Ludwig–Tiwari 2-approximation
-//	Estimate    — ω with ω ≤ OPT ≤ 2ω in O(n log²m)
+//	Schedule     — algorithm selection per core.Options (Auto by default)
+//	ScheduleMany — batches of independent instances on a worker pool
+//	TwoApprox    — the classical Ludwig–Tiwari 2-approximation
+//	Estimate     — ω with ω ≤ OPT ≤ 2ω in O(n log²m)
+//
+// Long-running callers that see repeated or similar instances should
+// use internal/service (exposed as the cmd/moldschedd daemon), which
+// adds result caching and oracle memoization; see DESIGN.md §5.
 package repro
 
 import (
@@ -56,9 +61,19 @@ const (
 	FPTAS  = core.FPTAS
 )
 
+// BatchResult is the outcome of one instance in a batch; see
+// core.BatchResult.
+type BatchResult = core.BatchResult
+
 // Schedule solves the instance; see core.Schedule.
 func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
 	return core.Schedule(in, opt)
+}
+
+// ScheduleMany schedules independent instances on a sharded worker
+// pool; see core.ScheduleMany.
+func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
+	return core.ScheduleMany(ins, opt, workers)
 }
 
 // PTAS is the §3.2 router; see core.PTAS.
