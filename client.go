@@ -1,0 +1,271 @@
+package repro
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+	"repro/internal/scherr"
+	"repro/internal/service"
+)
+
+// Typed errors of the scheduling stack, re-exported from
+// internal/scherr so callers can branch with errors.Is/errors.As on
+// this package alone:
+//
+//	ErrNotMonotone — the instance violates the monotone-job assumption
+//	ErrRegime      — an algorithm was forced outside its proven regime
+//	               (errors.As to *RegimeError for the violated bound)
+//	ErrCanceled    — the context ended first; also matches the context
+//	               cause (context.Canceled / context.DeadlineExceeded)
+//	ErrBadEps      — accuracy parameter outside (0,1]
+var (
+	ErrNotMonotone = scherr.ErrNotMonotone
+	ErrRegime      = scherr.ErrRegime
+	ErrCanceled    = scherr.ErrCanceled
+	ErrBadEps      = scherr.ErrBadEps
+)
+
+// RegimeError carries the violated regime bound; see scherr.RegimeError.
+type RegimeError = scherr.RegimeError
+
+// Result is the outcome of one instance in a streamed or batched call;
+// see service.Result. Schedule and Report may be shared with the
+// client's result cache — treat them as read-only.
+type Result = service.Result
+
+// EstimateResult is the Ludwig–Tiwari estimate; see lt.Result. Omega
+// satisfies ω ≤ OPT ≤ 2ω.
+type EstimateResult = lt.Result
+
+// config collects client-level and per-call settings; Options mutate it.
+type config struct {
+	svc    service.Config
+	opt    core.Options
+	probes int
+}
+
+// Option configures New (all options) or a single call (the per-call
+// subset: WithAlgorithm, WithEps, WithValidation, WithProbeBudget).
+// Pool- and cache-sizing options are fixed at construction; applying
+// one per call is a documented no-op, not an error.
+type Option func(*config)
+
+// WithWorkers sets the worker-pool size. n ≤ 0 (the default) selects
+// runtime.GOMAXPROCS(0). Construction-time only.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.svc.Workers = n }
+}
+
+// WithResultCache sets the bounded result cache's capacity (≤ 0 selects
+// the default, 1024). Construction-time only.
+func WithResultCache(capacity int) Option {
+	return func(c *config) { c.svc.ResultCacheCap = capacity }
+}
+
+// WithMemoBudget bounds the oracle-memoization registry: at most
+// instances memoized twins, at most megabytes MB of estimated table
+// footprint (≤ 0 selects the defaults, 256 and 256). Construction-time
+// only.
+func WithMemoBudget(instances, megabytes int) Option {
+	return func(c *config) {
+		c.svc.MemoCap = instances
+		c.svc.MemoBudgetMB = megabytes
+	}
+}
+
+// WithoutMemoization disables oracle memoization (useful as a
+// benchmark baseline). Construction-time only.
+func WithoutMemoization() Option {
+	return func(c *config) { c.svc.NoMemoize = true }
+}
+
+// WithoutResultCache disables the result cache, so structurally equal
+// submissions recompute. Construction-time only.
+func WithoutResultCache() Option {
+	return func(c *config) { c.svc.NoResultCache = true }
+}
+
+// WithAlgorithm selects the scheduling algorithm (default Auto: the
+// Theorem-2 FPTAS when m ≥ 16n/ε, the linear-time (3/2+ε) algorithm
+// otherwise). Valid at construction (the client default) and per call.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.opt.Algorithm = a }
+}
+
+// WithEps sets the accuracy parameter ε ∈ (0,1] (default 0.1). Valid at
+// construction and per call; out-of-range values surface as ErrBadEps
+// when the call runs.
+func WithEps(eps float64) Option {
+	return func(c *config) { c.opt.Eps = eps }
+}
+
+// WithValidation re-checks every produced schedule against its instance
+// before returning it (a defense-in-depth toggle; the hot path skips
+// it). Valid at construction and per call.
+func WithValidation() Option {
+	return func(c *config) { c.opt.Validate = true }
+}
+
+// WithProbeBudget sets how many processor counts Validate probes per
+// job when checking monotonicity (default 256; ≤ 0 means the exhaustive
+// O(m) scan). Valid at construction and per call.
+func WithProbeBudget(n int) Option {
+	return func(c *config) { c.probes = n }
+}
+
+// Client is the context-first entry point of the library: a handle over
+// the serving stack (sharded worker pool, bounded result cache, oracle
+// memoization — see DESIGN.md §5) with cancellation threaded through
+// every method down to the dual-search probe loops.
+//
+// Create with New, release with Close. All methods are safe for
+// concurrent use. For one-shot use the zero-config client is cheap:
+//
+//	c := repro.New()
+//	defer c.Close()
+//	s, rep, err := c.Schedule(ctx, in)
+type Client struct {
+	svc    *service.Scheduler
+	def    core.Options
+	probes int
+	// streams tracks in-flight ScheduleStream submitter goroutines so
+	// Close never races a Submit onto the already-closed pool (e.g.
+	// after a consumer breaks out of a stream early).
+	streams sync.WaitGroup
+}
+
+// New creates a Client. Options set the pool and cache sizes and the
+// per-call defaults (algorithm, ε, validation, probe budget).
+func New(opts ...Option) *Client {
+	cfg := config{probes: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Client{svc: service.New(cfg.svc), def: cfg.opt, probes: cfg.probes}
+}
+
+// Close drains in-flight work and stops the workers. Methods must not
+// be called after Close.
+func (c *Client) Close() {
+	c.streams.Wait()
+	c.svc.Close()
+}
+
+// call merges the client defaults with per-call options.
+func (c *Client) call(opts []Option) (core.Options, int) {
+	cfg := config{opt: c.def, probes: c.probes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.opt, cfg.probes
+}
+
+// Schedule solves one instance under ctx: cancellation and deadlines
+// are observed between dual-search probes, and a canceled run returns
+// an error matching ErrCanceled. Structurally identical submissions are
+// answered from the result cache; repeated instances reuse memoized
+// oracles. The instance must not be mutated afterwards.
+func (c *Client) Schedule(ctx context.Context, in *moldable.Instance, opts ...Option) (*ScheduleResult, *Report, error) {
+	opt, _ := c.call(opts)
+	r := c.svc.DoCtx(ctx, in, opt)
+	return r.Schedule, r.Report, r.Err
+}
+
+// ScheduleStream schedules every instance on the client's pool and
+// yields (index, Result) pairs in completion order — the first results
+// arrive while later instances are still computing, unlike the
+// barriered ScheduleMany. The stream ends after len(ins) pairs, or
+// earlier if the consumer breaks.
+//
+// Cancellation: when ctx ends, no further instance starts computing;
+// instances already running stop at their next dual probe; and every
+// unstarted instance yields a Result whose Err matches ErrCanceled.
+// The stream still yields exactly one pair per instance, so a consumer
+// ranging to the end always gets a full accounting. Breaking out of the
+// loop early does not leak goroutines: pending work is collected in the
+// background and released by Close.
+func (c *Client) ScheduleStream(ctx context.Context, ins []*moldable.Instance, opts ...Option) iter.Seq2[int, Result] {
+	opt, _ := c.call(opts)
+	return func(yield func(int, Result) bool) {
+		n := len(ins)
+		type completion struct {
+			i int
+			r Result
+		}
+		// Buffered to n: collector goroutines never block, so an early
+		// break by the consumer cannot strand them.
+		ch := make(chan completion, n)
+		// Submit from a goroutine: a submission blocked on a full shard
+		// queue must not delay the consumer, which should be receiving
+		// the first completions while the tail is still being enqueued.
+		// Close waits for this goroutine (c.streams), so breaking out of
+		// the stream and closing the client immediately is safe.
+		c.streams.Add(1)
+		go func() {
+			defer c.streams.Done()
+			for i, in := range ins {
+				id := c.svc.SubmitCtx(ctx, in, opt)
+				// Tickets that completed during SubmitCtx itself (result-
+				// cache hits, pre-canceled contexts) are collected inline:
+				// left to a collector goroutine, a long cache-hot burst
+				// could out-run the service's uncollected-ticket retention
+				// and lose results.
+				if r, done, known := c.svc.Poll(id); done && known {
+					ch <- completion{i, r}
+					continue
+				}
+				go func(i int, id uint64) {
+					r, ok := c.svc.Wait(id)
+					if !ok {
+						// Only possible if the ticket aged out of the
+						// retention window before we collected it.
+						r = Result{Err: scherr.Canceled(nil)}
+					}
+					ch <- completion{i, r}
+				}(i, id)
+			}
+		}()
+		for done := 0; done < n; done++ {
+			cpl := <-ch
+			if !yield(cpl.i, cpl.r) {
+				return
+			}
+		}
+	}
+}
+
+// Estimate computes the Ludwig–Tiwari estimate ω with ω ≤ OPT ≤ 2ω in
+// O(n log²m), without building a schedule.
+func (c *Client) Estimate(ctx context.Context, in *moldable.Instance) (EstimateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, scherr.Canceled(err)
+	}
+	return lt.Estimate(in), nil
+}
+
+// Validate checks the instance against the model's preconditions: m ≥ 1,
+// at least one job, every job monotone (probed per the client's probe
+// budget; see WithProbeBudget). Violations match ErrNotMonotone; a
+// canceled context matches ErrCanceled.
+func (c *Client) Validate(ctx context.Context, in *moldable.Instance, opts ...Option) error {
+	_, probes := c.call(opts)
+	return in.ValidateCtx(ctx, probes)
+}
+
+// ValidateSchedule checks a produced schedule against its instance
+// (feasibility, completeness, makespan accounting).
+func (c *Client) ValidateSchedule(ctx context.Context, in *moldable.Instance, s *schedule.Schedule) error {
+	if err := ctx.Err(); err != nil {
+		return scherr.Canceled(err)
+	}
+	return schedule.Validate(in, s, schedule.Options{})
+}
+
+// Stats snapshots the client's serving counters (submissions, cache
+// hits, memoized oracle hit rate; see service.Stats).
+func (c *Client) Stats() service.Stats { return c.svc.Stats() }

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 	"repro/internal/sim"
 )
 
@@ -37,8 +41,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("moldsched: ")
 
+	// ^C cancels the run cleanly: the dual search stops at its next
+	// probe and the process reports the interruption instead of dying
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Parse the algorithm before reading the instance: a typo in -algo
+	// (the error enumerates the valid names, case-insensitively) should
+	// not cost the user a full instance upload from stdin.
+	algo, err := core.ParseAlgorithm(*algoStr)
+	if err != nil {
+		log.Fatalf("-algo: %v", err)
+	}
+
 	var in *moldable.Instance
-	var err error
 	if *inPath == "-" {
 		in, err = moldable.ReadInstance(os.Stdin)
 	} else {
@@ -52,15 +69,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("reading instance: %v", err)
 	}
-	if err := in.Validate(256); err != nil {
+	if err := in.ValidateCtx(ctx, 256); err != nil {
+		if errors.Is(err, scherr.ErrCanceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatalf("invalid instance: %v", err)
 	}
-	algo, err := core.ParseAlgorithm(*algoStr)
+	s, rep, err := core.ScheduleCtx(ctx, in, core.Options{Algorithm: algo, Eps: *eps, Validate: true})
 	if err != nil {
-		log.Fatal(err)
-	}
-	s, rep, err := core.Schedule(in, core.Options{Algorithm: algo, Eps: *eps, Validate: true})
-	if err != nil {
+		if errors.Is(err, scherr.ErrCanceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	if *quiet {

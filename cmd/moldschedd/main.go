@@ -9,6 +9,7 @@
 // Requests ("op" selects the operation):
 //
 //	{"op":"submit","tag":"a1","algo":"auto","eps":0.1,"validate":false,
+//	 "timeout_ms":250,
 //	 "instance":{"m":64,"jobs":[{"type":"amdahl","seq":2,"par":98}]}}
 //	{"op":"result","id":1,"wait":true}
 //	{"op":"stats"}
@@ -23,40 +24,60 @@
 //	{"op":"stats","submitted":1,"completed":1,...}
 //
 // submit replies with a ticket id once the instance is validated; the
-// work runs on the service's sharded pool. result with wait=true
-// answers when the ticket completes. Responses are written as they
-// become ready, so they may interleave out of request order — submit
-// replies included (validation runs off the read loop); correlate
-// submit replies by tag and result replies by id. result consumes the
-// ticket. shutdown drains in-flight work and exits.
+// work runs on the service's sharded pool. timeout_ms > 0 sets a
+// per-submission deadline: when it expires before the work finishes,
+// the ticket completes with a canceled-error result instead of
+// blocking forever. result with wait=true answers when the ticket
+// completes. Responses are written as they become ready, so they may
+// interleave out of request order — submit replies included
+// (validation runs off the read loop); correlate submit replies by tag
+// and result replies by id. result consumes the ticket. shutdown
+// drains in-flight work and exits.
+//
+// Error responses carry a stable "code" alongside the human-readable
+// "error" text, from the typed taxonomy of internal/scherr:
+// "not_monotone", "regime", "canceled", "bad_eps", "internal", plus
+// the protocol-level "bad_request" and "unknown_ticket". Clients
+// should branch on the code, never the text.
 //
 // See DESIGN.md §5 for the daemon's place in the serving architecture.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/scherr"
 	"repro/internal/service"
+)
+
+// Protocol-level error codes, complementing the scherr taxonomy.
+const (
+	codeBadRequest    = "bad_request"
+	codeUnknownTicket = "unknown_ticket"
 )
 
 // request is the union of all request shapes.
 type request struct {
-	Op       string          `json:"op"`
-	Tag      string          `json:"tag,omitempty"`
-	ID       uint64          `json:"id,omitempty"`
-	Wait     bool            `json:"wait,omitempty"`
-	Algo     string          `json:"algo,omitempty"`
-	Eps      float64         `json:"eps,omitempty"`
-	Validate bool            `json:"validate,omitempty"`
-	Instance json.RawMessage `json:"instance,omitempty"`
+	Op        string          `json:"op"`
+	Tag       string          `json:"tag,omitempty"`
+	ID        uint64          `json:"id,omitempty"`
+	Wait      bool            `json:"wait,omitempty"`
+	Algo      string          `json:"algo,omitempty"`
+	Eps       float64         `json:"eps,omitempty"`
+	Validate  bool            `json:"validate,omitempty"`
+	TimeoutMS float64         `json:"timeout_ms,omitempty"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
 }
 
 // response is the union of all response shapes.
@@ -65,6 +86,7 @@ type response struct {
 	Tag   string `json:"tag,omitempty"`
 	ID    uint64 `json:"id,omitempty"`
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"` // stable error code (see package comment)
 
 	// result fields
 	Done       *bool         `json:"done,omitempty"`
@@ -122,8 +144,8 @@ func main() {
 	out := &writer{enc: json.NewEncoder(os.Stdout)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28) // table-backed instances can be large
-	var pending sync.WaitGroup // all async handlers
-	var submits sync.WaitGroup // submit handlers only; see the result case
+	var pending sync.WaitGroup               // all async handlers
+	var submits sync.WaitGroup               // submit handlers only; see the result case
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -131,7 +153,7 @@ func main() {
 		}
 		var req request
 		if err := json.Unmarshal(line, &req); err != nil {
-			out.send(response{Op: "error", Error: fmt.Sprintf("bad request: %v", err)})
+			out.send(response{Op: "error", Code: codeBadRequest, Error: fmt.Sprintf("bad request: %v", err)})
 			continue
 		}
 		switch req.Op {
@@ -172,7 +194,7 @@ func main() {
 			out.send(response{Op: "shutdown", Tag: req.Tag})
 			return
 		default:
-			out.send(response{Op: "error", Tag: req.Tag, Error: fmt.Sprintf("unknown op %q", req.Op)})
+			out.send(response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -184,25 +206,65 @@ func main() {
 func handleSubmit(svc *service.Scheduler, out *writer, req request, probes int) {
 	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
 	if err != nil {
-		out.send(response{Op: "submit", Tag: req.Tag, Error: err.Error()})
+		out.send(response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
 		return
 	}
 	in, err := moldable.UnmarshalInstance(req.Instance)
 	if err != nil {
-		out.send(response{Op: "submit", Tag: req.Tag, Error: fmt.Sprintf("bad instance: %v", err)})
+		out.send(response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("bad instance: %v", err)})
 		return
 	}
-	if err := in.Validate(probes); err != nil {
-		out.send(response{Op: "submit", Tag: req.Tag, Error: fmt.Sprintf("invalid instance: %v", err)})
+	// Per-submission deadline: created before validation so timeout_ms
+	// bounds the monotonicity probing as well as the scheduling; the
+	// context then travels with the ticket, so an expired deadline
+	// abandons queued work and stops a running dual search at its next
+	// probe. The watcher releases the timer as soon as the ticket
+	// completes, whoever collects it.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		// Clamp before converting: a huge timeout_ms (client shorthand
+		// for "no deadline") would overflow time.Duration to a negative
+		// value and cancel the submission instantly.
+		ns := req.TimeoutMS * float64(time.Millisecond)
+		d := time.Duration(math.MaxInt64)
+		if ns < float64(math.MaxInt64) {
+			d = time.Duration(ns)
+		}
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	if err := in.ValidateCtx(ctx, probes); err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		// Every validation failure is a client-input problem: keep the
+		// typed codes (not_monotone, canceled, …) but never report
+		// "internal" for structural errors like m < 1 — that reads as a
+		// server fault.
+		code := scherr.Code(err)
+		if code == scherr.CodeInternal {
+			code = codeBadRequest
+		}
+		out.send(response{Op: "submit", Tag: req.Tag, Code: code, Error: fmt.Sprintf("invalid instance: %v", err)})
 		return
 	}
-	id := svc.Submit(in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
+	id := svc.SubmitCtx(ctx, in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
+	if cancel != nil {
+		if done, ok := svc.Done(id); ok {
+			go func() {
+				<-done
+				cancel()
+			}()
+		} else {
+			cancel()
+		}
+	}
 	out.send(response{Op: "submit", Tag: req.Tag, ID: id})
 }
 
 func sendResult(out *writer, id uint64, res service.Result, known, done bool) {
 	if !known {
-		out.send(response{Op: "result", ID: id, Error: "unknown or already-collected ticket"})
+		out.send(response{Op: "result", ID: id, Code: codeUnknownTicket, Error: "unknown or already-collected ticket"})
 		return
 	}
 	resp := response{Op: "result", ID: id, Done: &done}
@@ -212,6 +274,7 @@ func sendResult(out *writer, id uint64, res service.Result, known, done bool) {
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
+		resp.Code = scherr.Code(res.Err)
 		out.send(resp)
 		return
 	}

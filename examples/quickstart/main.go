@@ -3,10 +3,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
 )
@@ -28,13 +29,21 @@ func main() {
 			moldable.Table{T: []moldable.Time{12, 7, 5, 4.5}}, // explicit times
 		},
 	}
-	if err := in.Validate(0); err != nil {
+	// The Client is the context-first entry point: cancellation and
+	// deadlines on ctx reach into the dual-search probe loops, and
+	// errors are typed (errors.Is with repro.ErrNotMonotone,
+	// repro.ErrRegime, repro.ErrBadEps, repro.ErrCanceled).
+	ctx := context.Background()
+	c := repro.New(repro.WithEps(0.1), repro.WithValidation())
+	defer c.Close()
+
+	if err := c.Validate(ctx, in, repro.WithProbeBudget(0)); err != nil {
 		log.Fatal(err) // every job must be monotone
 	}
 
 	// ε=0.1: Auto selects the FPTAS (1+ε) when m ≥ 16n/ε, otherwise the
 	// linear-time (3/2+ε) algorithm of §4.3.3.
-	s, rep, err := core.Schedule(in, core.Options{Algorithm: core.Auto, Eps: 0.1, Validate: true})
+	s, rep, err := c.Schedule(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+// Stream: the context-first Client API end to end — a batch streamed in
+// completion order, then the same batch under a deadline that expires
+// mid-flight, showing partial results plus typed ErrCanceled for the
+// rest (load shedding a server can act on).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/moldable"
+)
+
+func main() {
+	c := repro.New(
+		repro.WithWorkers(2),
+		repro.WithEps(0.25),
+		repro.WithAlgorithm(repro.Linear),
+	)
+	defer c.Close()
+
+	ins := make([]*moldable.Instance, 64)
+	for i := range ins {
+		ins[i] = moldable.Random(moldable.GenConfig{N: 24, M: 512, Seed: uint64(i + 1)})
+	}
+
+	// Results arrive as they finish — the consumer can act on the first
+	// schedules while the tail is still computing.
+	fmt.Println("— full stream —")
+	first, total := -1, 0
+	for i, r := range c.ScheduleStream(context.Background(), ins) {
+		if r.Err != nil {
+			log.Fatalf("instance %d: %v", i, r.Err)
+		}
+		if first < 0 {
+			first = i
+		}
+		total++
+	}
+	fmt.Printf("streamed %d schedules (first to finish: instance %d)\n\n", total, first)
+
+	// A fresh batch (the first one would be answered from the result
+	// cache) under a tight deadline: finished instances keep their
+	// results, the rest come back as ErrCanceled — nothing blocks,
+	// nothing leaks.
+	fmt.Println("— 2ms deadline —")
+	for i := range ins {
+		ins[i] = moldable.Random(moldable.GenConfig{N: 24, M: 512, Seed: uint64(1000 + i)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	var done, shed int
+	for i, r := range c.ScheduleStream(ctx, ins) {
+		switch {
+		case r.Err == nil:
+			done++
+		case errors.Is(r.Err, repro.ErrCanceled):
+			shed++
+		default:
+			log.Fatalf("instance %d: %v", i, r.Err)
+		}
+	}
+	fmt.Printf("completed %d, shed %d (deadline exceeded: %v)\n",
+		done, shed, errors.Is(ctx.Err(), context.DeadlineExceeded))
+}

@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 This file exercises the deprecated free-function
+// shims on purpose: they must keep compiling and working until removed.
+
 package repro_test
 
 import (
@@ -8,7 +11,8 @@ import (
 )
 
 // The facade must round-trip the common workflow without touching
-// internal packages beyond moldable.
+// internal packages beyond moldable. These are the deprecated shims;
+// the Client API equivalents live in client_test.go.
 func TestFacadeSchedule(t *testing.T) {
 	in := &moldable.Instance{
 		M: 64,

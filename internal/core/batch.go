@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
+
 	"repro/internal/moldable"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // BatchResult is the outcome of one instance in a batch.
@@ -14,38 +19,92 @@ type BatchResult struct {
 }
 
 // ScheduleMany schedules independent instances on a sharded work-queue
-// pool (the algorithms themselves stay sequential; batches — parameter
-// sweeps, experiment campaigns, per-queue scheduling — are
-// embarrassingly parallel). Errors are reported per instance in the
-// corresponding BatchResult, never by panicking the batch. workers ≤ 0
-// selects GOMAXPROCS. Long-running callers that also need result
-// caching and oracle memoization should use internal/service, which
-// layers both over the same pool.
+// pool; it is ScheduleManyCtx with a background context.
 func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
+	return ScheduleManyCtx(context.Background(), ins, opt, workers)
+}
+
+// ScheduleManyCtx schedules independent instances on a sharded
+// work-queue pool (the algorithms themselves stay sequential; batches —
+// parameter sweeps, experiment campaigns, per-queue scheduling — are
+// embarrassingly parallel). Errors are reported per instance in the
+// corresponding BatchResult, never by panicking the batch.
+//
+// workers selects the pool size: any value ≤ 0 (not just zero) means
+// runtime.GOMAXPROCS(0) workers, i.e. one per available CPU. This is a
+// documented part of the contract, shared with parallel.NewPool.
+//
+// Cancellation: when ctx ends mid-batch, instances already being
+// scheduled run to completion (their results are returned as usual,
+// except that an instance mid-dual-search returns ErrCanceled from the
+// probe loop), and every instance that had not started gets a
+// BatchResult whose Err matches scherr.ErrCanceled. The returned slice
+// always has len(ins) entries, so partial results remain usable.
+//
+// Long-running callers that also need result caching and oracle
+// memoization should use internal/service, which layers both over the
+// same pool.
+func ScheduleManyCtx(ctx context.Context, ins []*moldable.Instance, opt Options, workers int) []BatchResult {
 	out := make([]BatchResult, len(ins))
+	ran := make([]atomic.Bool, len(ins))
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
-	pool.Batch(len(ins), nil, func(i int) {
-		s, rep, err := Schedule(ins[i], opt)
+	err := pool.Batch(ctx, len(ins), nil, func(i int) {
+		ran[i].Store(true)
+		s, rep, err := ScheduleCtx(ctx, ins[i], opt)
 		out[i] = BatchResult{Schedule: s, Report: rep, Err: err}
 	})
+	if err != nil {
+		// Mark the indices the pool abandoned (fn never ran) as
+		// canceled, so callers can tell "not run" from "ran and failed".
+		cerr := scherr.Canceled(err)
+		for i := range out {
+			if !ran[i].Load() {
+				out[i].Err = cerr
+			}
+		}
+	}
 	return out
 }
 
 // ValidateMany validates instances on the pool (per-job monotonicity
 // probing dominates; see moldable.CheckMonotone) and returns the first
-// failure by index order (all instances are still visited).
+// failure by index order (all instances are still visited). workers ≤ 0
+// selects GOMAXPROCS, as in ScheduleManyCtx.
 func ValidateMany(ins []*moldable.Instance, maxProbes, workers int) error {
+	return ValidateManyCtx(context.Background(), ins, maxProbes, workers)
+}
+
+// ValidateManyCtx is ValidateMany under a context: a cancel mid-batch
+// returns an error matching scherr.ErrCanceled (validation failures
+// found before the cancel still win, by index order).
+func ValidateManyCtx(ctx context.Context, ins []*moldable.Instance, maxProbes, workers int) error {
 	errs := make([]error, len(ins))
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
-	pool.Batch(len(ins), nil, func(i int) {
-		errs[i] = ins[i].Validate(maxProbes)
+	cerr := pool.Batch(ctx, len(ins), nil, func(i int) {
+		errs[i] = ins[i].ValidateCtx(ctx, maxProbes)
 	})
+	// Genuine validation failures outrank cancellations: an earlier
+	// index whose probing was merely interrupted must not mask a real
+	// non-monotone instance found before the cancel.
+	var canceled error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, scherr.ErrCanceled):
+			if canceled == nil {
+				canceled = err
+			}
+		default:
 			return err
 		}
+	}
+	if canceled != nil {
+		return canceled
+	}
+	if cerr != nil {
+		return scherr.Canceled(cerr)
 	}
 	return nil
 }

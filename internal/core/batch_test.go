@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // TestScheduleManyErrorPropagation mixes schedulable instances with one
@@ -35,6 +38,86 @@ func TestScheduleManyErrorPropagation(t *testing.T) {
 	if out[1].Schedule != nil {
 		t.Error("instance 1: failed instance must not carry a schedule")
 	}
+}
+
+// TestScheduleManyDefaultWorkers pins the documented contract: any
+// workers ≤ 0 (zero or negative) selects GOMAXPROCS — the batch must
+// run normally, not panic or serialize into an error.
+func TestScheduleManyDefaultWorkers(t *testing.T) {
+	ins := make([]*moldable.Instance, 8)
+	for i := range ins {
+		ins[i] = moldable.Random(moldable.GenConfig{N: 6, M: 64, Seed: uint64(i + 1)})
+	}
+	for _, workers := range []int{0, -1, -100} {
+		out := ScheduleMany(ins, Options{Algorithm: Linear, Eps: 0.5}, workers)
+		if len(out) != len(ins) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), len(ins))
+		}
+		for i, r := range out {
+			if r.Err != nil || r.Schedule == nil {
+				t.Errorf("workers=%d instance %d: err=%v", workers, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestScheduleManyCtxCancel cancels mid-batch: completed instances keep
+// their results, never-started instances report ErrCanceled, and the
+// slice stays fully populated.
+func TestScheduleManyCtxCancel(t *testing.T) {
+	const n = 128
+	ins := make([]*moldable.Instance, n)
+	for i := range ins {
+		ins[i] = moldable.Random(moldable.GenConfig{N: 16, M: 256, Seed: uint64(i + 1)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	// Cancel from inside the batch via an instrumented first instance:
+	// wrap job 0's oracle so the first evaluation cancels the context.
+	base := ins[0].Jobs[0]
+	ins[0].Jobs[0] = cancelJob{Job: base, fire: func() {
+		if fired.CompareAndSwap(false, true) {
+			cancel()
+		}
+	}}
+	out := ScheduleManyCtx(ctx, ins, Options{Algorithm: Linear, Eps: 0.5}, 2)
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	var done, canceled int
+	for i, r := range out {
+		switch {
+		case r.Err == nil:
+			if r.Schedule == nil || r.Report == nil {
+				t.Errorf("instance %d: success without schedule/report", i)
+			}
+			done++
+		case errors.Is(r.Err, scherr.ErrCanceled):
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("instance %d: ErrCanceled does not unwrap to context.Canceled", i)
+			}
+			canceled++
+		default:
+			t.Errorf("instance %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("no instance reported ErrCanceled after a mid-batch cancel")
+	}
+	if done+canceled != n {
+		t.Errorf("done=%d + canceled=%d ≠ %d", done, canceled, n)
+	}
+}
+
+type cancelJob struct {
+	moldable.Job
+	fire func()
+}
+
+func (c cancelJob) Time(p int) moldable.Time {
+	c.fire()
+	return c.Job.Time(p)
 }
 
 // TestValidateManyNonMonotone plants a job with increasing processing

@@ -14,8 +14,10 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/dual"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/moldable"
 	"repro/internal/mrt"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // Algorithm selects the scheduling algorithm.
@@ -63,14 +66,32 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm converts a name to an Algorithm.
+// Algorithms lists every selectable algorithm, in declaration order.
+func Algorithms() []Algorithm {
+	return []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS}
+}
+
+// AlgorithmNames lists the accepted names for ParseAlgorithm, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(Algorithms()))
+	for _, a := range Algorithms() {
+		names = append(names, a.String())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseAlgorithm converts a name to an Algorithm. Matching is
+// case-insensitive ("FPTAS", "Linear" and "fptas", "linear" are the
+// same selection); an unknown name's error enumerates the valid ones.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	for _, a := range []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS} {
-		if a.String() == s {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(a.String(), s) {
 			return a, nil
 		}
 	}
-	return Auto, fmt.Errorf("core: unknown algorithm %q", s)
+	return Auto, fmt.Errorf("core: unknown algorithm %q (valid: %s)",
+		s, strings.Join(AlgorithmNames(), ", "))
 }
 
 // Options configures Schedule.
@@ -98,13 +119,28 @@ type Report struct {
 	Elapsed    time.Duration
 }
 
-// Schedule solves the instance with the selected algorithm.
+// Schedule solves the instance with the selected algorithm; it is
+// ScheduleCtx with a background context.
 func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
+	return ScheduleCtx(context.Background(), in, opt)
+}
+
+// ScheduleCtx solves the instance with the selected algorithm under a
+// context: cancellation is observed between dual-search probes (the
+// expensive unit of work for every algorithm except LT2), and a
+// canceled run returns an error matching scherr.ErrCanceled (which
+// also unwraps to the context cause). Errors are typed: scherr.ErrBadEps
+// for an accuracy parameter outside (0,1], scherr.ErrRegime when the
+// FPTAS is forced outside m ≥ 16n/ε.
+func ScheduleCtx(ctx context.Context, in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
 	if opt.Eps == 0 {
 		opt.Eps = 0.1
 	}
 	if opt.Eps < 0 || opt.Eps > 1 {
-		return nil, nil, fmt.Errorf("core: eps=%v must be in (0,1]", opt.Eps)
+		return nil, nil, scherr.BadEps("core", opt.Eps)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, scherr.Canceled(err)
 	}
 	start := time.Now()
 	rep := &Report{Algorithm: opt.Algorithm, Eps: opt.Eps}
@@ -127,19 +163,19 @@ func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, 
 		dr.Omega = est.Omega
 		rep.Guarantee = 2
 	case MRT:
-		s, dr, err = mrt.Schedule(in, opt.Eps)
+		s, dr, err = mrt.ScheduleCtx(ctx, in, opt.Eps)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Alg1:
-		s, dr, err = fast.ScheduleAlg1(in, opt.Eps)
+		s, dr, err = fast.ScheduleAlg1Ctx(ctx, in, opt.Eps)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Alg3:
-		s, dr, err = fast.ScheduleAlg3(in, opt.Eps)
+		s, dr, err = fast.ScheduleAlg3Ctx(ctx, in, opt.Eps)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Linear:
-		s, dr, err = fast.ScheduleLinear(in, opt.Eps)
+		s, dr, err = fast.ScheduleLinearCtx(ctx, in, opt.Eps)
 		rep.Guarantee = 1.5 + opt.Eps
 	case FPTAS:
-		s, dr, err = fptas.Schedule(in, opt.Eps)
+		s, dr, err = fptas.ScheduleCtx(ctx, in, opt.Eps)
 		rep.Guarantee = 1 + opt.Eps
 	default:
 		return nil, nil, fmt.Errorf("core: unknown algorithm %v", algo)
@@ -169,9 +205,11 @@ func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, 
 // ErrPTASRegime signals that a true (1+ε) guarantee is not certifiable
 // for this instance with the algorithms of this paper: the paper's §3.2
 // PTAS delegates m < 8n/ε to the Jansen–Thöle PTAS [14], which is
-// outside this paper's contribution (see DESIGN.md §3).
-var ErrPTASRegime = errors.New("core: m too small for the paper's FPTAS; " +
-	"the general-case PTAS [Jansen–Thöle] is out of scope — use Linear (3/2+ε) instead")
+// outside this paper's contribution (see DESIGN.md §3). It matches
+// scherr.ErrRegime under errors.Is.
+var ErrPTASRegime = fmt.Errorf("core: m too small for the paper's FPTAS (%w); "+
+	"the general-case PTAS [Jansen–Thöle] is out of scope — use Linear (3/2+ε) instead",
+	scherr.ErrRegime)
 
 // PTAS is the §3.2 router: the Theorem-2 FPTAS when m ≥ 16n/ε, the exact
 // solver for tiny instances, and ErrPTASRegime otherwise.

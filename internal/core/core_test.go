@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 func TestAllAlgorithmsEndToEnd(t *testing.T) {
@@ -93,18 +96,49 @@ func TestParseAlgorithm(t *testing.T) {
 			t.Errorf("round trip failed for %v", a)
 		}
 	}
-	if _, err := ParseAlgorithm("nope"); err == nil {
-		t.Error("unknown name accepted")
+	// Matching is case-insensitive: flag values like -algo FPTAS work.
+	for _, s := range []string{"FPTAS", "Fptas", "LT2", "Linear", "AUTO", "mRt"} {
+		if _, err := ParseAlgorithm(s); err != nil {
+			t.Errorf("ParseAlgorithm(%q) = %v, want case-insensitive match", s, err)
+		}
+	}
+	_, err := ParseAlgorithm("nope")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The error must enumerate every valid name, so a CLI user can
+	// self-correct without reading the source.
+	for _, name := range AlgorithmNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
 	}
 }
 
 func TestScheduleRejectsBadEps(t *testing.T) {
 	in := moldable.Random(moldable.GenConfig{N: 2, M: 2, Seed: 1})
-	if _, _, err := Schedule(in, Options{Eps: -0.5}); err == nil {
-		t.Error("negative eps accepted")
+	if _, _, err := Schedule(in, Options{Eps: -0.5}); !errors.Is(err, scherr.ErrBadEps) {
+		t.Errorf("negative eps: %v, want ErrBadEps", err)
 	}
-	if _, _, err := Schedule(in, Options{Eps: 1.5}); err == nil {
-		t.Error("eps > 1 accepted")
+	if _, _, err := Schedule(in, Options{Eps: 1.5}); !errors.Is(err, scherr.ErrBadEps) {
+		t.Errorf("eps > 1: %v, want ErrBadEps", err)
+	}
+}
+
+// TestFPTASRegimeTyped: forcing the FPTAS outside m ≥ 16n/ε yields the
+// typed regime error with the violated bound attached.
+func TestFPTASRegimeTyped(t *testing.T) {
+	in := moldable.Random(moldable.GenConfig{N: 64, M: 8, Seed: 2})
+	_, _, err := Schedule(in, Options{Algorithm: FPTAS, Eps: 0.5})
+	if !errors.Is(err, scherr.ErrRegime) {
+		t.Fatalf("out-of-regime FPTAS = %v, want ErrRegime", err)
+	}
+	var re *scherr.RegimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not carry *RegimeError", err)
+	}
+	if re.M != 8 || re.N != 64 || re.MinM <= re.M {
+		t.Errorf("RegimeError bound looks wrong: %+v", re)
 	}
 }
 

@@ -7,12 +7,14 @@
 package dual
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // Algorithm is a c-dual approximate algorithm.
@@ -39,20 +41,34 @@ type Report struct {
 // the dual algorithm (it must accept any d ≥ OPT).
 var ErrNoSchedule = errors.New("dual: algorithm rejected d ≥ OPT; dual guarantee violated")
 
-// Search runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.
+// Search runs the binary search without cancellation; it is
+// SearchCtx with a background context.
+func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
+	return SearchCtx(context.Background(), algo, omega, eps)
+}
+
+// SearchCtx runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.
 // The returned schedule has makespan ≤ (c+eps)·OPT.
+//
+// The context is checked between probes (each probe is a full dual
+// call, the expensive unit of work); a canceled context aborts the
+// search with an error matching scherr.ErrCanceled, reporting the
+// probes spent so far.
 //
 // Invariants: hi is always accepted; lo is either ω (≤ OPT) or a rejected
 // value (< OPT). The loop narrows hi−lo below (eps/c)·ω, after which
 // makespan ≤ c·hi ≤ c·lo + eps·ω ≤ (c+eps)·OPT.
-func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
+func SearchCtx(ctx context.Context, algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
 	if eps <= 0 {
-		return nil, Report{}, fmt.Errorf("dual: eps=%v must be positive", eps)
+		return nil, Report{}, scherr.BadEps("dual", eps)
 	}
 	c := algo.Guarantee()
 	rep := Report{Omega: omega}
 	if omega <= 0 {
 		return nil, rep, errors.New("dual: estimator returned non-positive omega")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, rep, scherr.Canceled(err)
 	}
 	lo, hi := omega, 2*omega
 	sched, ok := algo.Try(hi)
@@ -64,6 +80,9 @@ func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedul
 	// interval but is not required for the guarantee.
 	target := eps / c * omega
 	for hi-lo > target {
+		if err := ctx.Err(); err != nil {
+			return nil, rep, scherr.Canceled(err)
+		}
 		mid := lo + (hi-lo)/2
 		s, ok := algo.Try(mid)
 		rep.Iterations++

@@ -1,11 +1,14 @@
 package dual
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // mockDual accepts exactly when d ≥ opt and returns a schedule with
@@ -94,6 +97,48 @@ func TestSearchRejectsBadInputs(t *testing.T) {
 	}
 	if _, _, err := Search(algo, 0, 0.1); err == nil {
 		t.Error("omega=0 accepted")
+	}
+}
+
+// cancelingDual cancels its own search's context after a fixed number
+// of probes, simulating a deadline landing mid-search.
+type cancelingDual struct {
+	mockDual
+	cancel func()
+	after  int
+}
+
+func (c *cancelingDual) Try(d moldable.Time) (*schedule.Schedule, bool) {
+	if len(c.tries) >= c.after {
+		c.cancel()
+	}
+	return c.mockDual.Try(d)
+}
+
+func TestSearchCtxCancelBetweenProbes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	algo := &cancelingDual{mockDual: mockDual{opt: 12, c: 1.5}, cancel: cancel, after: 2}
+	_, rep, err := SearchCtx(ctx, algo, 8, 0.001)
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("SearchCtx after mid-search cancel = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("canceled search does not unwrap to context.Canceled")
+	}
+	// The third probe observes the canceled context before running, so
+	// exactly the pre-cancel probes (plus the one that canceled) ran.
+	if rep.Iterations > algo.after+1 {
+		t.Errorf("search kept probing after cancel: %d iterations", rep.Iterations)
+	}
+	// An already-canceled context must not probe at all.
+	dead, dcancel := context.WithCancel(context.Background())
+	dcancel()
+	fresh := &mockDual{opt: 12, c: 1.5}
+	if _, rep, err := SearchCtx(dead, fresh, 8, 0.1); !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("SearchCtx on dead context = %v, want ErrCanceled", err)
+	} else if rep.Iterations != 0 || len(fresh.tries) != 0 {
+		t.Errorf("dead context still probed: %d iterations", rep.Iterations)
 	}
 }
 

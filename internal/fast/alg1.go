@@ -13,7 +13,7 @@
 package fast
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/compress"
 	"repro/internal/dual"
@@ -22,6 +22,7 @@ import (
 	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 	"repro/internal/shelves"
 )
 
@@ -120,17 +121,23 @@ func regimeDual(in *moldable.Instance, algo dual.Algorithm) dual.Algorithm {
 // ScheduleAlg1 runs the complete (3/2+eps)-approximation around Alg1,
 // splitting eps between the dual factor and the binary-search slack.
 func ScheduleAlg1(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleAlg1Ctx(context.Background(), in, eps)
+}
+
+// ScheduleAlg1Ctx is ScheduleAlg1 with cancellation, checked between
+// dual probes.
+func ScheduleAlg1Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err
 	}
 	est := lt.Estimate(in)
 	algo := regimeDual(in, &Alg1{In: in, Eps: eps / 2})
-	return dual.Search(algo, est.Omega, eps/2)
+	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
 }
 
 func checkEps(eps float64) error {
 	if eps <= 0 || eps > 1 {
-		return fmt.Errorf("fast: eps=%v must be in (0,1]", eps)
+		return scherr.BadEps("fast", eps)
 	}
 	return nil
 }

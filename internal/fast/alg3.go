@@ -1,6 +1,8 @@
 package fast
 
 import (
+	"context"
+
 	"repro/internal/compress"
 	"repro/internal/dual"
 	"repro/internal/knapsack"
@@ -205,20 +207,32 @@ func upIdx(g []float64, v float64) int {
 // ScheduleAlg3 runs the full (3/2+eps)-approximation around Alg3 (heap
 // transformation rules, §4.3).
 func ScheduleAlg3(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleAlg3Ctx(context.Background(), in, eps)
+}
+
+// ScheduleAlg3Ctx is ScheduleAlg3 with cancellation, checked between
+// dual probes.
+func ScheduleAlg3Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err
 	}
 	est := lt.Estimate(in)
 	algo := regimeDual(in, &Alg3{In: in, Eps: eps / 2})
-	return dual.Search(algo, est.Omega, eps/2)
+	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
 }
 
 // ScheduleLinear runs the §4.3.3 linear-time variant (bucketed rules).
 func ScheduleLinear(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleLinearCtx(context.Background(), in, eps)
+}
+
+// ScheduleLinearCtx is ScheduleLinear with cancellation, checked
+// between dual probes.
+func ScheduleLinearCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err
 	}
 	est := lt.Estimate(in)
 	algo := regimeDual(in, &Alg3{In: in, Eps: eps / 2, Buckets: true})
-	return dual.Search(algo, est.Omega, eps/2)
+	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
 }

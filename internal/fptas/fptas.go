@@ -10,7 +10,7 @@
 package fptas
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"repro/internal/dual"
@@ -18,6 +18,7 @@ import (
 	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // Dual is the (1+ε)-dual algorithm of §3. Its rejection guarantee
@@ -66,20 +67,27 @@ func MinM(n int, eps float64) int {
 
 // Schedule runs the full FPTAS: Ludwig–Tiwari estimation followed by the
 // dual binary search, splitting eps evenly between the dual factor and
-// the search slack, for a true (1+eps)-approximation. It returns an error
-// when m < 16n/eps (use the (3/2+ε) algorithms in that regime; see
-// §3.2 and DESIGN.md §3 on the Jansen–Thöle substitution).
+// the search slack, for a true (1+eps)-approximation. It returns an
+// error matching scherr.ErrRegime when m < 16n/eps (use the (3/2+ε)
+// algorithms in that regime; see §3.2 and DESIGN.md §3 on the
+// Jansen–Thöle substitution).
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleCtx(context.Background(), in, eps)
+}
+
+// ScheduleCtx is Schedule with cancellation, checked between dual
+// probes; a canceled context yields an error matching
+// scherr.ErrCanceled.
+func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
-		return nil, dual.Report{}, fmt.Errorf("fptas: eps=%v must be in (0,1]", eps)
+		return nil, dual.Report{}, scherr.BadEps("fptas", eps)
 	}
 	half := eps / 2
 	if !Applicable(in.N(), in.M, half) {
-		return nil, dual.Report{}, fmt.Errorf("fptas: requires m ≥ 16n/ε = %d, have m=%d",
-			MinM(in.N(), eps), in.M)
+		return nil, dual.Report{}, scherr.Regime("fptas", in.N(), in.M, eps, MinM(in.N(), eps))
 	}
 	est := lt.Estimate(in)
-	return dual.Search(&Dual{In: in, Eps: half}, est.Omega, half)
+	return dual.SearchCtx(ctx, &Dual{In: in, Eps: half}, est.Omega, half)
 }
 
 // AllotmentRule2 is the second allotment rule of §3.1, used in the

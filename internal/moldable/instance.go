@@ -1,10 +1,13 @@
 package moldable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"repro/internal/scherr"
 )
 
 // Instance is a scheduling instance: m identical processors and a set of
@@ -60,8 +63,10 @@ func (in *Instance) LowerBound() Time {
 	return lb
 }
 
-// ErrNotMonotone reports a violation of the monotone-job assumption.
-var ErrNotMonotone = errors.New("moldable: job is not monotone")
+// ErrNotMonotone reports a violation of the monotone-job assumption. It
+// is the shared scherr.ErrNotMonotone sentinel, so errors.Is works the
+// same whichever package the caller imports.
+var ErrNotMonotone = scherr.ErrNotMonotone
 
 // CheckMonotone verifies that job j is monotone over 1..m: time
 // non-increasing, work non-decreasing, and t(1) positive and finite.
@@ -113,6 +118,13 @@ func CheckMonotone(j Job, m, maxProbes int) error {
 // Validate checks the instance: m ≥ 1, at least one job, and every job
 // monotone (probed as in CheckMonotone with the given probe budget).
 func (in *Instance) Validate(maxProbes int) error {
+	return in.ValidateCtx(context.Background(), maxProbes)
+}
+
+// ValidateCtx is Validate with cancellation: the context is checked
+// between jobs (per-job probing is the expensive part), and a canceled
+// context returns an error matching scherr.ErrCanceled.
+func (in *Instance) ValidateCtx(ctx context.Context, maxProbes int) error {
 	if in.M < 1 {
 		return fmt.Errorf("moldable: m=%d must be ≥ 1", in.M)
 	}
@@ -120,6 +132,9 @@ func (in *Instance) Validate(maxProbes int) error {
 		return errors.New("moldable: instance has no jobs")
 	}
 	for i, j := range in.Jobs {
+		if err := ctx.Err(); err != nil {
+			return scherr.Canceled(err)
+		}
 		if err := CheckMonotone(j, in.M, maxProbes); err != nil {
 			return fmt.Errorf("job %d: %w", i, err)
 		}

@@ -9,13 +9,14 @@
 package mrt
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/dual"
 	"repro/internal/knapsack"
 	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 	"repro/internal/shelves"
 )
 
@@ -66,9 +67,15 @@ func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // Schedule runs the full (3/2+eps)-approximation: Ludwig–Tiwari
 // estimation plus the dual binary search with slack eps.
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleCtx(context.Background(), in, eps)
+}
+
+// ScheduleCtx is Schedule with cancellation, checked between dual
+// probes.
+func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
-		return nil, dual.Report{}, fmt.Errorf("mrt: eps=%v must be in (0,1]", eps)
+		return nil, dual.Report{}, scherr.BadEps("mrt", eps)
 	}
 	est := lt.Estimate(in)
-	return dual.Search(&Dual{In: in}, est.Omega, eps)
+	return dual.SearchCtx(ctx, &Dual{In: in}, est.Omega, eps)
 }

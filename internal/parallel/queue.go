@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -62,6 +63,14 @@ func NewPool(workers int) *Pool {
 // queue is full. fn runs on the shard's worker; Submit does not wait
 // for it. Submit must not be called concurrently with or after Close.
 func (p *Pool) Submit(key uint64, fn func()) {
+	p.submitCtx(nil, key, fn)
+}
+
+// submitCtx is Submit with an optional cancellation channel: when the
+// target shard's queue is full and done fires before space frees up,
+// the task is withdrawn (accounting rolled back) and submitCtx reports
+// false. A nil done blocks indefinitely, exactly like Submit.
+func (p *Pool) submitCtx(done <-chan struct{}, key uint64, fn func()) bool {
 	if p.closed.Load() {
 		panic("parallel: Submit on closed Pool")
 	}
@@ -69,7 +78,7 @@ func (p *Pool) Submit(key uint64, fn func()) {
 	p.mu.Lock()
 	p.inflight++
 	p.mu.Unlock()
-	p.shards[p.shard(key)] <- func() {
+	task := func() {
 		defer func() {
 			p.completed.Add(1)
 			p.mu.Lock()
@@ -80,6 +89,24 @@ func (p *Pool) Submit(key uint64, fn func()) {
 			p.mu.Unlock()
 		}()
 		fn()
+	}
+	shard := p.shards[p.shard(key)]
+	if done == nil {
+		shard <- task
+		return true
+	}
+	select {
+	case shard <- task:
+		return true
+	case <-done:
+		p.submitted.Add(-1)
+		p.mu.Lock()
+		p.inflight--
+		if p.inflight == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+		return false
 	}
 }
 
@@ -100,24 +127,60 @@ func (p *Pool) Drain() {
 }
 
 // Batch runs fn(i) for i in [0, n) on the pool, routing each index by
-// key(i) (nil keys route by index), and returns when all n calls have
-// completed. Concurrent batches on one pool interleave safely: Batch
-// waits only on its own tasks, not on Drain.
-func (p *Pool) Batch(n int, key func(i int) uint64, fn func(i int)) {
+// key(i) (nil keys route by index), and returns when every started call
+// has completed. Concurrent batches on one pool interleave safely:
+// Batch waits only on its own tasks, not on Drain.
+//
+// The context governs the batch: once it is canceled, no further
+// indices are submitted (a submission blocked on a full queue is
+// withdrawn), already-queued-but-unstarted tasks are abandoned without
+// calling fn, and Batch returns ctx.Err() after the tasks that did
+// start have finished — so fn is never running after Batch returns and
+// no goroutines are leaked. Indices whose fn never ran are simply
+// skipped; callers that need per-index outcomes should record them in
+// fn. A nil ctx means no cancellation (context.Background()).
+func (p *Pool) Batch(ctx context.Context, n int, key func(i int) uint64, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 	var wg sync.WaitGroup
-	wg.Add(n)
+	var skipped atomic.Bool
+	var err error
 	for i := 0; i < n; i++ {
-		i := i
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
 		k := uint64(i)
 		if key != nil {
 			k = key(i)
 		}
-		p.Submit(k, func() {
+		wg.Add(1)
+		ok := p.submitCtx(done, k, func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				// Abandoned: canceled before this task started.
+				skipped.Store(true)
+				return
+			}
 			fn(i)
 		})
+		if !ok {
+			wg.Done()
+			err = ctx.Err()
+			break
+		}
 	}
 	wg.Wait()
+	if err == nil && skipped.Load() {
+		// The submit loop finished before the cancel landed, but queued
+		// tasks were then abandoned by the wrapper above: report the
+		// cancellation. A cancel that arrives after every fn already ran
+		// is NOT an error — the batch completed.
+		err = ctx.Err()
+	}
+	return err
 }
 
 // Stats returns the cumulative submitted and completed task counts.

@@ -1,9 +1,13 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunsEverything(t *testing.T) {
@@ -46,7 +50,9 @@ func TestPoolBatch(t *testing.T) {
 	p := NewPool(0)
 	defer p.Close()
 	out := make([]int, 1000)
-	p.Batch(len(out), nil, func(i int) { out[i] = i * i })
+	if err := p.Batch(context.Background(), len(out), nil, func(i int) { out[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range out {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d", i, v)
@@ -66,7 +72,7 @@ func TestPoolConcurrentBatches(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			if g%2 == 0 {
-				p.Batch(200, func(i int) uint64 { return uint64(g) }, func(i int) { total.Add(1) })
+				p.Batch(context.Background(), 200, func(i int) uint64 { return uint64(g) }, func(i int) { total.Add(1) })
 			} else {
 				for i := 0; i < 200; i++ {
 					p.Submit(uint64(i), func() { total.Add(1) })
@@ -79,6 +85,64 @@ func TestPoolConcurrentBatches(t *testing.T) {
 	p.Drain()
 	if got := total.Load(); got != 1200 {
 		t.Fatalf("ran %d tasks, want 1200", got)
+	}
+}
+
+// TestPoolBatchCancel cancels a batch mid-flight: some indices run,
+// the rest are abandoned, Batch returns the context error, and the
+// pool's accounting stays balanced (Close does not hang, no goroutines
+// leak).
+func TestPoolBatchCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 5000
+	ran := make([]atomic.Bool, n)
+	err := p.Batch(ctx, n, nil, func(i int) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		ran[i].Store(true)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Batch = %v, want context.Canceled", err)
+	}
+	got := 0
+	for i := range ran {
+		if ran[i].Load() {
+			got++
+		}
+	}
+	if got == 0 || got == n {
+		t.Fatalf("ran %d of %d tasks; want a strict mid-batch cut", got, n)
+	}
+	p.Close() // hangs if the withdrawn submissions corrupted inflight
+	if sub, done := p.Stats(); sub != done {
+		t.Fatalf("Stats() = (%d, %d): submitted and completed diverge", sub, done)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestPoolBatchPreCanceled: a dead context must not run anything.
+func TestPoolBatchPreCanceled(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.Batch(ctx, 100, nil, func(i int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Batch on dead context = %v", err)
+	}
+	p.Drain()
+	if ran {
+		t.Error("dead-context batch still ran a task")
 	}
 }
 

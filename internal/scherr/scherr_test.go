@@ -1,0 +1,76 @@
+package scherr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRegimeErrorIsAndAs(t *testing.T) {
+	err := Regime("fptas", 64, 8, 0.5, 2048)
+	if !errors.Is(err, ErrRegime) {
+		t.Fatalf("errors.Is(%v, ErrRegime) = false", err)
+	}
+	var re *RegimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(%v, *RegimeError) = false", err)
+	}
+	if re.MinM != 2048 || re.M != 8 || re.N != 64 {
+		t.Errorf("RegimeError fields = %+v", re)
+	}
+	wrapped := fmt.Errorf("core: %w", err)
+	if !errors.Is(wrapped, ErrRegime) || !errors.As(wrapped, &re) {
+		t.Error("wrapped RegimeError lost its identity")
+	}
+}
+
+func TestCanceledMatchesSentinelAndCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx.Err())
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("Canceled(ctx.Err()) does not match ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Canceled(ctx.Err()) does not match context.Canceled")
+	}
+	if derr := Canceled(context.DeadlineExceeded); !errors.Is(derr, context.DeadlineExceeded) {
+		t.Error("Canceled(deadline) does not match context.DeadlineExceeded")
+	}
+	if Canceled(nil) != ErrCanceled {
+		t.Error("Canceled(nil) should be the bare sentinel")
+	}
+	if double := Canceled(Canceled(ctx.Err())); !errors.Is(double, context.Canceled) {
+		t.Error("double-wrapping lost the cause")
+	} else if double.Error() != err.Error() {
+		t.Errorf("double wrap changed the message: %q vs %q", double, err)
+	}
+}
+
+func TestBadEps(t *testing.T) {
+	err := BadEps("fast", -1)
+	if !errors.Is(err, ErrBadEps) {
+		t.Fatalf("BadEps does not match ErrBadEps: %v", err)
+	}
+}
+
+func TestCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrNotMonotone, CodeNotMonotone},
+		{fmt.Errorf("job 3: %w", ErrNotMonotone), CodeNotMonotone},
+		{Regime("fptas", 4, 2, 0.5, 128), CodeRegime},
+		{Canceled(context.Canceled), CodeCanceled},
+		{BadEps("core", 2), CodeBadEps},
+		{errors.New("disk on fire"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/scherr"
+)
+
+// TestSubmitCtxPreCanceled: a dead context completes the ticket with
+// ErrCanceled without scheduling, and the failure is not cached — the
+// same instance submitted with a live context computes normally.
+func TestSubmitCtxPreCanceled(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	in := testInstance(7)
+	opt := core.Options{Algorithm: core.Linear, Eps: 0.25}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, ok := s.Wait(s.SubmitCtx(ctx, in, opt))
+	if !ok {
+		t.Fatal("ticket unknown")
+	}
+	if !errors.Is(r.Err, scherr.ErrCanceled) || !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("pre-canceled submission Err = %v, want ErrCanceled/context.Canceled", r.Err)
+	}
+	if r.Schedule != nil {
+		t.Error("canceled submission carries a schedule")
+	}
+	live := s.Do(in, opt)
+	if live.Err != nil {
+		t.Fatalf("live resubmission failed: %v", live.Err)
+	}
+	if live.Cached {
+		t.Error("live resubmission was served from cache: the canceled result was cached")
+	}
+}
+
+// TestDoCtxDeadline: an already-expired deadline yields ErrCanceled
+// that unwraps to context.DeadlineExceeded.
+func TestDoCtxDeadline(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	r := s.DoCtx(ctx, testInstance(8), core.Options{Algorithm: core.Linear, Eps: 0.25})
+	if !errors.Is(r.Err, scherr.ErrCanceled) || !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline Err = %v, want ErrCanceled/DeadlineExceeded", r.Err)
+	}
+}
+
+// TestWaitCtxDoesNotConsumeTicket: a WaitCtx bounded by a dead context
+// reports ErrCanceled but leaves the ticket collectable; a later Wait
+// gets the real result.
+func TestWaitCtxDoesNotConsumeTicket(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	in := testInstance(9)
+	id := s.Submit(in, core.Options{Algorithm: core.Linear, Eps: 0.25})
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, ok := s.WaitCtx(dead, id)
+	if !ok {
+		t.Fatal("ticket unknown")
+	}
+	if !errors.Is(r.Err, scherr.ErrCanceled) {
+		t.Fatalf("WaitCtx on dead context = %v, want ErrCanceled", r.Err)
+	}
+	real, ok := s.WaitCtx(context.Background(), id)
+	if !ok {
+		t.Fatal("ticket was consumed by the canceled WaitCtx")
+	}
+	if real.Err != nil || real.Schedule == nil {
+		t.Fatalf("real result after canceled WaitCtx: %+v", real)
+	}
+}
+
+// TestDoBatchCtxCancel: canceling a shared context mid-batch returns a
+// full-length slice mixing finished results and ErrCanceled.
+func TestDoBatchCtxCancel(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	const n = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	insts := make([]*moldable.Instance, n)
+	for i := range insts {
+		insts[i] = testInstance(uint64(100 + i))
+	}
+	// Deterministic fuse: instance 4's first oracle probe cancels the
+	// context. The single worker runs submissions in order, so the
+	// instances behind the fuse are still queued when the cancel lands.
+	insts[4].Jobs[0] = fuseJob{Job: insts[4].Jobs[0], cancel: cancel}
+	out := s.DoBatchCtx(ctx, insts, core.Options{Algorithm: core.Linear, Eps: 0.25})
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	var canceled int
+	for i, r := range out {
+		if r.Err != nil {
+			if !errors.Is(r.Err, scherr.ErrCanceled) {
+				t.Errorf("instance %d: %v, want ErrCanceled", i, r.Err)
+			}
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("mid-batch cancel produced no ErrCanceled results")
+	}
+}
+
+// fuseJob cancels a context at its first oracle probe.
+type fuseJob struct {
+	moldable.Job
+	cancel context.CancelFunc
+}
+
+func (f fuseJob) Time(p int) moldable.Time {
+	f.cancel()
+	return f.Job.Time(p)
+}

@@ -17,12 +17,18 @@
 //     burst of the same instance computes once and then hits the cache
 //     instead of stampeding.
 //
-// Submissions are asynchronous (Submit returns a ticket; Wait/Poll
-// collect) with synchronous conveniences (Do, DoBatch) on top.
-// cmd/moldschedd exposes this package as a JSON-lines daemon.
+// Submissions are asynchronous (Submit/SubmitCtx return a ticket;
+// Wait/WaitCtx/Poll collect, Done observes) with synchronous
+// conveniences (Do, DoCtx, DoBatch, DoBatchCtx) on top. SubmitCtx
+// carries a per-submission context — deadline included — all the way
+// into the dual-search probe loops; interrupted submissions complete
+// with errors matching scherr.ErrCanceled and are never cached.
+// cmd/moldschedd exposes this package as a JSON-lines daemon; the
+// repro.Client is the in-process public face.
 package service
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +36,7 @@ import (
 	"repro/internal/moldable"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // Config sizes the scheduler. The zero value is a sensible default.
@@ -138,6 +145,17 @@ func (s *Scheduler) Close() { s.pool.Close() }
 // therefore don't leak; callers that collect always see their result
 // if they stay within TicketCap of the completion front.
 func (s *Scheduler) Submit(in *moldable.Instance, opt core.Options) uint64 {
+	return s.SubmitCtx(context.Background(), in, opt)
+}
+
+// SubmitCtx is Submit with a per-submission context: the deadline or
+// cancellation travels with the ticket. A submission whose context ends
+// while it is still queued is abandoned without scheduling; one whose
+// context ends mid-run stops at the next dual probe. Either way the
+// ticket completes with an error matching scherr.ErrCanceled, so
+// Wait/Poll callers always see a result. Canceled results are never
+// cached. A result-cache hit still answers a live context immediately.
+func (s *Scheduler) SubmitCtx(ctx context.Context, in *moldable.Instance, opt core.Options) uint64 {
 	id := s.nextID.Add(1)
 	t := &task{done: make(chan struct{})}
 	s.tasks.Store(id, t)
@@ -160,12 +178,22 @@ func (s *Scheduler) Submit(in *moldable.Instance, opt core.Options) uint64 {
 		// don't all serialize onto one shard.
 		key = id
 	}
-	s.pool.Submit(key, func() { s.run(id, t, in, opt, key, rkey, canon) })
+	if err := ctx.Err(); err != nil {
+		s.finish(id, t, Result{Err: scherr.Canceled(err)})
+		return id
+	}
+	s.pool.Submit(key, func() { s.run(ctx, id, t, in, opt, key, rkey, canon) })
 	return id
 }
 
 // run executes one submission on a pool worker.
-func (s *Scheduler) run(id uint64, t *task, in *moldable.Instance, opt core.Options, key, rkey uint64, canon bool) {
+func (s *Scheduler) run(ctx context.Context, id uint64, t *task, in *moldable.Instance, opt core.Options, key, rkey uint64, canon bool) {
+	// Abandon work whose caller has already given up: the deadline ended
+	// while this submission sat in the queue.
+	if err := ctx.Err(); err != nil {
+		s.finish(id, t, Result{Err: scherr.Canceled(err)})
+		return
+	}
 	// Re-check the cache: a key-mate submitted moments earlier may have
 	// just computed this exact result (shard affinity serialized us
 	// behind it).
@@ -186,7 +214,7 @@ func (s *Scheduler) run(id uint64, t *task, in *moldable.Instance, opt core.Opti
 			exec, looseStats = moldable.MemoizeInstance(in)
 		}
 	}
-	sched, rep, err := core.Schedule(exec, opt)
+	sched, rep, err := core.ScheduleCtx(ctx, exec, opt)
 	if looseStats != nil {
 		h, m := looseStats()
 		s.looseHits.Add(h)
@@ -238,6 +266,40 @@ func (s *Scheduler) Wait(id uint64) (Result, bool) {
 	return t.res, true
 }
 
+// WaitCtx is Wait bounded by the caller's context: it returns either
+// the completed result (releasing the ticket) or, when ctx ends first,
+// a Result whose Err matches scherr.ErrCanceled — in that case the
+// ticket is NOT released, so the submission keeps running and a later
+// Wait/Poll can still collect it. Note the submission's own context is
+// the one given to SubmitCtx; WaitCtx only bounds this wait.
+func (s *Scheduler) WaitCtx(ctx context.Context, id uint64) (Result, bool) {
+	v, ok := s.tasks.Load(id)
+	if !ok {
+		return Result{}, false
+	}
+	t := v.(*task)
+	select {
+	case <-t.done:
+		s.tasks.Delete(id)
+		return t.res, true
+	case <-ctx.Done():
+		return Result{Err: scherr.Canceled(ctx.Err())}, true
+	}
+}
+
+// Done returns a channel that is closed when the ticket completes,
+// without collecting or releasing it — the observer's sibling of
+// Wait/Poll, for callers that must react to completion (release a
+// deadline timer, update a gauge) while someone else collects the
+// result. Unknown tickets return ok=false.
+func (s *Scheduler) Done(id uint64) (<-chan struct{}, bool) {
+	v, ok := s.tasks.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*task).done, true
+}
+
 // Poll returns the ticket's result without blocking. done reports
 // completion (the ticket is released when done); known distinguishes a
 // pending ticket from an unknown one.
@@ -263,17 +325,46 @@ func (s *Scheduler) Do(in *moldable.Instance, opt core.Options) Result {
 	return r
 }
 
+// DoCtx is Do under a per-submission context: the work itself carries
+// ctx (deadline included) and the wait is bounded by it too — when ctx
+// ends while the submission is still queued behind other work, DoCtx
+// returns an ErrCanceled result immediately instead of waiting for the
+// worker to reach (and then abandon) the task.
+func (s *Scheduler) DoCtx(ctx context.Context, in *moldable.Instance, opt core.Options) Result {
+	r, ok := s.WaitCtx(ctx, s.SubmitCtx(ctx, in, opt))
+	if !ok {
+		// The ticket aged out of the retention FIFO before we loaded it
+		// (tiny TicketCap under concurrent submissions): the result is
+		// gone. Report it as lost rather than returning a zero Result
+		// that looks like success.
+		r = Result{Err: scherr.Canceled(nil)}
+	}
+	return r
+}
+
 // DoBatch submits every instance and waits for all results, in order.
 // It is the service-grade sibling of core.ScheduleMany: same fan-out,
 // plus dedup, result caching, and shared oracle memos.
 func (s *Scheduler) DoBatch(ins []*moldable.Instance, opt core.Options) []Result {
+	return s.DoBatchCtx(context.Background(), ins, opt)
+}
+
+// DoBatchCtx is DoBatch under one shared context: a cancel or deadline
+// mid-batch completes the remaining submissions with ErrCanceled
+// results (already-finished ones keep their results), never a short
+// slice. The waits are ctx-bounded, so the call returns promptly after
+// a cancel instead of trailing the queue.
+func (s *Scheduler) DoBatchCtx(ctx context.Context, ins []*moldable.Instance, opt core.Options) []Result {
 	ids := make([]uint64, len(ins))
 	for i, in := range ins {
-		ids[i] = s.Submit(in, opt)
+		ids[i] = s.SubmitCtx(ctx, in, opt)
 	}
 	out := make([]Result, len(ins))
 	for i, id := range ids {
-		out[i], _ = s.Wait(id)
+		var ok bool
+		if out[i], ok = s.WaitCtx(ctx, id); !ok {
+			out[i] = Result{Err: scherr.Canceled(nil)} // evicted ticket; see DoCtx
+		}
 	}
 	return out
 }

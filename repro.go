@@ -10,24 +10,33 @@
 // knapsack-with-compressible-items toolbox (Algorithm 2 / Theorem 15).
 //
 // The root package is a thin facade; the implementation lives under
-// internal/ (see DESIGN.md §1 for the system inventory):
+// internal/ (see DESIGN.md §1 for the system inventory).
+//
+// # Entry point: the Client
+//
+// All scheduling goes through a context-first Client, a handle over
+// the serving stack (worker pool, result cache, oracle memoization):
+//
+//	c := repro.New(repro.WithEps(0.1))
+//	defer c.Close()
 //
 //	in := &moldable.Instance{M: 1 << 20, Jobs: []moldable.Job{
 //	    moldable.Amdahl{Seq: 2, Par: 98},
 //	    moldable.PerfectSpeedup{W: 512},
 //	}}
-//	s, rep, err := repro.Schedule(in, repro.Options{Eps: 0.1})
+//	s, rep, err := c.Schedule(ctx, in)
 //
-// Entry points:
+// Methods: Schedule (one instance), ScheduleStream (a batch, results
+// streamed in completion order as an iter.Seq2), Estimate (ω with
+// ω ≤ OPT ≤ 2ω), Validate (instance preconditions), ValidateSchedule.
+// Cancellation and deadlines on ctx reach all the way into the
+// algorithms' dual-search probe loops; interrupted work returns errors
+// matching ErrCanceled. Errors are typed (ErrNotMonotone, ErrRegime,
+// ErrBadEps, ErrCanceled) and errors.Is/As-able.
 //
-//	Schedule     — algorithm selection per core.Options (Auto by default)
-//	ScheduleMany — batches of independent instances on a worker pool
-//	TwoApprox    — the classical Ludwig–Tiwari 2-approximation
-//	Estimate     — ω with ω ≤ OPT ≤ 2ω in O(n log²m)
-//
-// Long-running callers that see repeated or similar instances should
-// use internal/service (exposed as the cmd/moldschedd daemon), which
-// adds result caching and oracle memoization; see DESIGN.md §5.
+// The pre-Client free functions (Schedule, ScheduleMany, TwoApprox,
+// Estimate, Validate) remain as deprecated shims; see each for its
+// replacement and README.md for the migration table.
 package repro
 
 import (
@@ -40,13 +49,15 @@ import (
 // Re-exported types, so basic use needs only this package plus
 // internal/moldable for job definitions.
 type (
-	// Options configures Schedule; see core.Options.
+	// Options configures the deprecated free functions; see
+	// core.Options. New code passes WithAlgorithm/WithEps/WithValidation
+	// options to the Client instead.
 	Options = core.Options
 	// Report describes a scheduling run; see core.Report.
 	Report = core.Report
 	// Algorithm selects the algorithm; see the constants below.
 	Algorithm = core.Algorithm
-	// Schedule is a produced schedule; see schedule.Schedule.
+	// ScheduleResult is a produced schedule; see schedule.Schedule.
 	ScheduleResult = schedule.Schedule
 )
 
@@ -66,33 +77,57 @@ const (
 type BatchResult = core.BatchResult
 
 // Schedule solves the instance; see core.Schedule.
+//
+// Deprecated: use Client.Schedule, which adds cancellation, result
+// caching, and oracle memoization:
+//
+//	c := repro.New()
+//	defer c.Close()
+//	s, rep, err := c.Schedule(ctx, in, repro.WithEps(opt.Eps))
 func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
 	return core.Schedule(in, opt)
 }
 
 // ScheduleMany schedules independent instances on a sharded worker
-// pool; see core.ScheduleMany.
+// pool and returns when every result is ready; see core.ScheduleMany.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0).
+//
+// Deprecated: use Client.ScheduleStream, which streams results in
+// completion order instead of barriering, and observes ctx:
+//
+//	c := repro.New(repro.WithWorkers(workers))
+//	defer c.Close()
+//	for i, r := range c.ScheduleStream(ctx, ins) { ... }
 func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
 	return core.ScheduleMany(ins, opt, workers)
 }
 
-// PTAS is the §3.2 router; see core.PTAS.
+// PTAS is the §3.2 router; see core.PTAS. It is a specialist entry
+// point (certifies (1+ε) or returns ErrPTASRegime, matching ErrRegime)
+// and has no Client equivalent.
 func PTAS(in *moldable.Instance, eps float64) (*schedule.Schedule, *Report, error) {
 	return core.PTAS(in, eps)
 }
 
 // TwoApprox is the classical 2-approximation (Ludwig–Tiwari estimator +
 // list scheduling).
+//
+// Deprecated: use Client.Schedule with WithAlgorithm(LT2).
 func TwoApprox(in *moldable.Instance) (*schedule.Schedule, lt.Result) {
 	return lt.TwoApprox(in)
 }
 
 // Estimate computes ω with ω ≤ OPT ≤ 2ω in time O(n log²m).
+//
+// Deprecated: use Client.Estimate, which observes ctx.
 func Estimate(in *moldable.Instance) lt.Result {
 	return lt.Estimate(in)
 }
 
 // Validate checks a schedule against its instance.
+//
+// Deprecated: use Client.ValidateSchedule (for schedules) or
+// Client.Validate (for instance preconditions).
 func Validate(in *moldable.Instance, s *schedule.Schedule) error {
 	return schedule.Validate(in, s, schedule.Options{})
 }
