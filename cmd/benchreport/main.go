@@ -1,0 +1,286 @@
+// Command benchreport runs the repo's benchmark families and emits a
+// machine-readable performance snapshot (BENCH_*.json), so every PR
+// can diff its hot-path cost against the committed trajectory — the
+// harness behind docs/PERFORMANCE.md and the CI regression gate.
+//
+// Two modes:
+//
+//	# snapshot: run the benchmarks, write BENCH_PR3.json
+//	go run ./cmd/benchreport -bench 'Theorem3|Batch_' -out BENCH_PR3.json
+//
+//	# gate: run the same benchmarks and fail (exit 1) if allocs/op
+//	# regressed more than 10% (+slack) against the committed baseline
+//	go run ./cmd/benchreport -bench 'Theorem3|Batch_' -check BENCH_PR3.json
+//
+// The snapshot stores ns/op, B/op, allocs/op and any custom metrics
+// (worst-ratio, instances/sec) per benchmark, grouped by family (the
+// name up to the first '/'). Only allocs/op is gated: wall-clock is
+// machine-dependent, but allocation counts are a property of the code
+// path, so a >10% jump is a real hot-path change, not noise. The
+// -slack flag (absolute allocs) absorbs environment-dependent warm-up
+// effects — e.g. per-worker pool initialization amortized over a small
+// -benchtime, which scales with GOMAXPROCS. Compare runs that used the
+// same -benchtime for like-for-like amortization.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result. Names are normalized by stripping
+// the -GOMAXPROCS suffix so snapshots compare across machines.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Family     string             `json:"family"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"b_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the snapshot schema. Version guards future shape changes.
+type Report struct {
+	Version    int         `json:"version"`
+	Go         string      `json:"go"`
+	Bench      string      `json:"bench"`
+	Benchtime  string      `json:"benchtime"`
+	Package    string      `json:"package"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "Theorem3|Batch_", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "5x", "go test -benchtime (use Nx for deterministic iteration counts)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "", "write the JSON snapshot to this file (default stdout)")
+		check     = flag.String("check", "", "compare against this baseline snapshot instead of writing one")
+		tolerance = flag.Float64("tolerance", 0.10, "relative allocs/op regression tolerated in -check mode")
+		slack     = flag.Float64("slack", 16, "absolute allocs/op slack added to the tolerance in -check mode")
+		anyGo     = flag.Bool("allow-go-mismatch", false, "permit -check against a baseline from a different Go toolchain")
+		input     = flag.String("input", "", "parse this 'go test -bench' output file instead of running go test (for testing)")
+	)
+	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	// In -check mode the baseline is the source of truth for WHAT to
+	// run: its recorded bench regex and benchtime default the flags
+	// (so the CI invocation cannot drift from the snapshot), and
+	// explicitly passing different values is refused — a narrower
+	// regex would silently un-gate families, and a different
+	// benchtime skews warm-up amortization (see docs/PERFORMANCE.md).
+	var base Report
+	if *check != "" {
+		var err error
+		base, err = loadReport(*check)
+		if err != nil {
+			fatalf("loading baseline: %v", err)
+		}
+		if base.Bench != "" {
+			if !explicit["bench"] {
+				*bench = base.Bench
+			} else if *bench != base.Bench {
+				fatalf("-bench %q differs from baseline's recorded %q; drop the flag or regenerate %s",
+					*bench, base.Bench, *check)
+			}
+		}
+		if base.Benchtime != "" {
+			if !explicit["benchtime"] {
+				*benchtime = base.Benchtime
+			} else if *benchtime != base.Benchtime {
+				fatalf("-benchtime %q differs from baseline's recorded %q; drop the flag or regenerate %s",
+					*benchtime, base.Benchtime, *check)
+			}
+		}
+	}
+
+	var raw []byte
+	var err error
+	if *input != "" {
+		raw, err = os.ReadFile(*input)
+		if err != nil {
+			fatalf("reading -input: %v", err)
+		}
+	} else {
+		raw, err = runBenchmarks(*bench, *benchtime, *pkg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	rep := Report{
+		Version:    1,
+		Go:         runtime.Version(),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Package:    *pkg,
+		Benchmarks: parseBenchOutput(raw),
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmark results parsed; regex %q matched nothing?", *bench)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+
+	if *check != "" {
+		// allocs/op is toolchain-dependent (map internals, append
+		// growth, inlining all shift between Go releases), so a
+		// cross-version comparison can both cry wolf and mask real
+		// regressions. Refuse it unless explicitly overridden.
+		if !*anyGo && base.Go != "" && base.Go != rep.Go {
+			fatalf("baseline %s was generated with %s but this run uses %s; "+
+				"match the toolchain, regenerate the baseline, or pass -allow-go-mismatch",
+				*check, base.Go, rep.Go)
+		}
+		if failures := compare(base, rep, *tolerance, *slack); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchreport: %d benchmarks within %.0f%% (+%g) of %s\n",
+			len(rep.Benchmarks), *tolerance*100, *slack, *check)
+		return
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func runBenchmarks(bench, benchtime, pkg string) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gomaxprocsSuffix strips the trailing -N goroutine count go test
+// appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput parses `go test -bench -benchmem` text output:
+//
+//	BenchmarkName/sub-8  50  100339 ns/op  1.673 worst-ratio  0 B/op  0 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs in any order.
+func parseBenchOutput(raw []byte) []Benchmark {
+	var out []Benchmark
+	scan := bufio.NewScanner(bytes.NewReader(raw))
+	scan.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for scan.Scan() {
+		line := strings.TrimSpace(scan.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		b := Benchmark{Name: name, Family: name, Iterations: iters}
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			b.Family = name[:i]
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare gates allocs/op of every benchmark present in both runs:
+// current > baseline·(1+tolerance) + slack is a regression. New
+// benchmarks (no baseline entry) and baseline benchmarks that did not
+// run are reported informationally, never as failures, so adding or
+// narrowing families does not break the gate.
+func compare(base, cur Report, tolerance, slack float64) []string {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var failures []string
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("benchreport: %s: new benchmark (allocs/op %.0f), no baseline\n", c.Name, c.AllocsOp)
+			continue
+		}
+		delete(baseBy, c.Name)
+		limit := b.AllocsOp*(1+tolerance) + slack
+		if c.AllocsOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.1f exceeds baseline %.1f (limit %.1f = +%.0f%% +%g)",
+				c.Name, c.AllocsOp, b.AllocsOp, limit, tolerance*100, slack))
+		}
+	}
+	for name := range baseBy {
+		fmt.Printf("benchreport: %s: in baseline but not in this run\n", name)
+	}
+	sort.Strings(failures)
+	return failures
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTheorem3_FullRun/mrt-8         	       5	    247079 ns/op	         1.673 worst-ratio	  123505 B/op	     965 allocs/op
+BenchmarkTheorem3_ScratchSteadyState/linear-8   	      50	    842261 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBatch_Throughput/memoized-16    	       5	  10273319 ns/op	        97.34 instances/sec	 1821244 B/op	     200 allocs/op
+PASS
+ok  	repro	0.655s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	bs := parseBenchOutput([]byte(sample))
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	mrt := bs[0]
+	if mrt.Name != "BenchmarkTheorem3_FullRun/mrt" {
+		t.Fatalf("name %q: GOMAXPROCS suffix not stripped", mrt.Name)
+	}
+	if mrt.Family != "BenchmarkTheorem3_FullRun" {
+		t.Fatalf("family %q", mrt.Family)
+	}
+	if mrt.Iterations != 5 || mrt.NsPerOp != 247079 || mrt.BytesPerOp != 123505 || mrt.AllocsOp != 965 {
+		t.Fatalf("mrt fields: %+v", mrt)
+	}
+	if mrt.Metrics["worst-ratio"] != 1.673 {
+		t.Fatalf("custom metric lost: %+v", mrt.Metrics)
+	}
+	if zero := bs[1]; zero.AllocsOp != 0 || zero.BytesPerOp != 0 {
+		t.Fatalf("zero-alloc row mis-parsed: %+v", zero)
+	}
+	if batch := bs[2]; batch.Metrics["instances/sec"] != 97.34 {
+		t.Fatalf("instances/sec lost: %+v", batch)
+	}
+}
+
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	base := Report{Benchmarks: parseBenchOutput([]byte(sample))}
+	// Same run: no regressions.
+	if f := compare(base, base, 0.10, 0); len(f) != 0 {
+		t.Fatalf("self-compare failed: %v", f)
+	}
+	// Inflate one benchmark's allocs beyond 10% + slack.
+	cur := Report{Benchmarks: parseBenchOutput([]byte(strings.Replace(sample,
+		"965 allocs/op", "1200 allocs/op", 1)))}
+	f := compare(base, cur, 0.10, 16)
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkTheorem3_FullRun/mrt") {
+		t.Fatalf("expected one mrt regression, got %v", f)
+	}
+	// Within slack: 0 → 10 allocs must pass (absolute slack).
+	cur2 := Report{Benchmarks: parseBenchOutput([]byte(strings.Replace(sample,
+		"0 B/op	       0 allocs/op", "80 B/op	       10 allocs/op", 1)))}
+	if f := compare(base, cur2, 0.10, 16); len(f) != 0 {
+		t.Fatalf("slack not applied: %v", f)
+	}
+	// New benchmarks and missing benchmarks are informational.
+	extra := Report{Benchmarks: append(parseBenchOutput([]byte(sample)),
+		Benchmark{Name: "BenchmarkNew/x", AllocsOp: 1e6})}
+	if f := compare(base, extra, 0.10, 0); len(f) != 0 {
+		t.Fatalf("new benchmark treated as regression: %v", f)
+	}
+}

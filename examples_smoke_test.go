@@ -1,0 +1,55 @@
+package repro_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every examples/ program with a 5s
+// execution deadline, so the doc-adjacent walkthroughs stay working:
+// `go build ./...` compiles them but nothing else ever executed them,
+// which is how example rot starts. Skipped under -short (CI runs the
+// full suite).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs are not -short material")
+	}
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no examples found; glob moved?")
+	}
+	for _, main := range mains {
+		dir := filepath.Dir(main)
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			// Build without a deadline (cold build caches are slow);
+			// the 5s budget is for execution, where a hang would mean
+			// a broken example.
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("building %s: %v\n%s", dir, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("%s did not finish within 5s\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("%s exited with %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output; examples must demonstrate something", name)
+			}
+		})
+	}
+}

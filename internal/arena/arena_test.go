@@ -1,0 +1,81 @@
+package arena
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestGrowReusesCapacity(t *testing.T) {
+	buf := make([]int, 0, 16)
+	g := Grow(buf, 8)
+	if len(g) != 8 || cap(g) != 16 {
+		t.Fatalf("Grow: len=%d cap=%d, want 8/16", len(g), cap(g))
+	}
+	g2 := Grow(g, 32)
+	if len(g2) != 32 {
+		t.Fatalf("Grow beyond cap: len=%d, want 32", len(g2))
+	}
+}
+
+func TestZeroed(t *testing.T) {
+	buf := []int{1, 2, 3, 4}
+	z := Zeroed(buf, 3)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("Zeroed[%d] = %d", i, v)
+		}
+	}
+}
+
+type ordInt int
+
+func (a ordInt) Less(b ordInt) bool { return a < b }
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var h Heap[ordInt]
+	for round := 0; round < 20; round++ {
+		h.Reset()
+		n := rng.IntN(200)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.IntN(1000)
+			h.Push(ordInt(in[i]))
+		}
+		sort.Ints(in)
+		if h.Len() != n {
+			t.Fatalf("Len=%d want %d", h.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if n > 0 && i == 0 {
+				if got := h.Min(); int(got) != in[0] {
+					t.Fatalf("Min=%d want %d", got, in[0])
+				}
+			}
+			if got := h.Pop(); int(got) != in[i] {
+				t.Fatalf("Pop #%d = %d, want %d", i, got, in[i])
+			}
+		}
+	}
+}
+
+func TestHeapSteadyStateAllocs(t *testing.T) {
+	var h Heap[ordInt]
+	for i := 0; i < 64; i++ {
+		h.Push(ordInt(i))
+	}
+	h.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Reset()
+		for i := 63; i >= 0; i-- {
+			h.Push(ordInt(i))
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("heap steady state allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,7 +1,9 @@
-// Package baseline provides deliberately naive scheduling strategies.
-// They exist to quantify, in the experiment tables, how much the
-// paper's machinery actually buys: the moldable algorithms must beat
-// them on quality (and the compact-encoding ones on speed).
+// Package baseline provides deliberately naive scheduling strategies
+// for the comparison experiments of DESIGN.md §4 (the `-comparison`
+// table): strategies with no counterpart in Jansen & Land, against
+// which the paper's algorithms (§3–§4) must win on quality and the
+// compact-encoding ones on speed. Nothing here carries a guarantee;
+// that is the point.
 package baseline
 
 import (

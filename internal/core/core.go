@@ -125,6 +125,24 @@ func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, 
 	return ScheduleCtx(context.Background(), in, opt)
 }
 
+// Scratch aggregates the reusable buffers of every algorithm a
+// Schedule call can route to (the scratch-reuse discipline of
+// internal/arena): the fast (3/2+ε) schedulers, the FPTAS, and MRT. A
+// warm Scratch makes ScheduleScratchCtx allocation-free in the steady
+// state for the FPTAS/Linear regimes — the property guarded by
+// TestScheduleScratchZeroAlloc and tracked in BENCH_PR3.json. The zero
+// value is ready; a Scratch must not be shared between concurrent
+// calls (internal/service keys one per pool worker).
+type Scratch struct {
+	Fast fast.Scratch
+	FP   fptas.Scratch
+	MRT  mrt.Scratch
+}
+
+// NewScratch returns an empty Scratch (provided for symmetry; the zero
+// value works too).
+func NewScratch() *Scratch { return &Scratch{} }
+
 // ScheduleCtx solves the instance with the selected algorithm under a
 // context: cancellation is observed between dual-search probes (the
 // expensive unit of work for every algorithm except LT2), and a
@@ -133,17 +151,36 @@ func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, 
 // for an accuracy parameter outside (0,1], scherr.ErrRegime when the
 // FPTAS is forced outside m ≥ 16n/ε.
 func ScheduleCtx(ctx context.Context, in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
+	s, rep, err := ScheduleScratchCtx(ctx, in, opt, nil)
+	// The report is returned unconditionally: on error it reflects how
+	// far the call got (the zero value for precondition failures, the
+	// full report for a post-hoc validation failure). No caller may
+	// infer success from a non-nil report — check err.
+	return s, &rep, err
+}
+
+// ScheduleScratchCtx is ScheduleCtx drawing every buffer from sc and
+// returning the Report by value: with a warm Scratch the FPTAS and
+// Linear paths run allocation-free in the steady state. The returned
+// schedule is then owned by the scratch — valid until the scratch's
+// next use; Clone to keep it (internal/service does exactly that
+// before caching). A nil scratch uses fresh buffers, making the result
+// caller-owned.
+func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options, sc *Scratch) (*schedule.Schedule, Report, error) {
 	if opt.Eps == 0 {
 		opt.Eps = 0.1
 	}
 	if opt.Eps < 0 || opt.Eps > 1 {
-		return nil, nil, scherr.BadEps("core", opt.Eps)
+		return nil, Report{}, scherr.BadEps("core", opt.Eps)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, scherr.Canceled(err)
+		return nil, Report{}, scherr.Canceled(err)
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	start := time.Now()
-	rep := &Report{Algorithm: opt.Algorithm, Eps: opt.Eps}
+	rep := Report{Algorithm: opt.Algorithm, Eps: opt.Eps}
 	var s *schedule.Schedule
 	var dr dual.Report
 	var err error
@@ -163,25 +200,25 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, opt Options) (*sche
 		dr.Omega = est.Omega
 		rep.Guarantee = 2
 	case MRT:
-		s, dr, err = mrt.ScheduleCtx(ctx, in, opt.Eps)
+		s, dr, err = mrt.ScheduleScratchCtx(ctx, in, opt.Eps, &sc.MRT)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Alg1:
-		s, dr, err = fast.ScheduleAlg1Ctx(ctx, in, opt.Eps)
+		s, dr, err = fast.ScheduleAlg1ScratchCtx(ctx, in, opt.Eps, &sc.Fast)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Alg3:
-		s, dr, err = fast.ScheduleAlg3Ctx(ctx, in, opt.Eps)
+		s, dr, err = fast.ScheduleAlg3ScratchCtx(ctx, in, opt.Eps, &sc.Fast)
 		rep.Guarantee = 1.5 + opt.Eps
 	case Linear:
-		s, dr, err = fast.ScheduleLinearCtx(ctx, in, opt.Eps)
+		s, dr, err = fast.ScheduleLinearScratchCtx(ctx, in, opt.Eps, &sc.Fast)
 		rep.Guarantee = 1.5 + opt.Eps
 	case FPTAS:
-		s, dr, err = fptas.ScheduleCtx(ctx, in, opt.Eps)
+		s, dr, err = fptas.ScheduleScratchCtx(ctx, in, opt.Eps, &sc.FP)
 		rep.Guarantee = 1 + opt.Eps
 	default:
-		return nil, nil, fmt.Errorf("core: unknown algorithm %v", algo)
+		return nil, Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, Report{}, err
 	}
 	rep.Elapsed = time.Since(start)
 	rep.Makespan = s.Makespan()

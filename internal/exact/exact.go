@@ -1,6 +1,9 @@
 // Package exact provides an exponential-time exact solver for tiny
 // moldable instances, used as ground truth by the approximation-ratio
-// tests and by the 4-Partition reduction experiments.
+// tests (Theorem 3's quality claims), by the §2 4-Partition reduction
+// experiments, and as the tiny-instance fallback of the §3.2 PTAS
+// router (core.PTAS; see DESIGN.md §3 on the Jansen–Thöle
+// substitution).
 //
 // It relies on a structural fact about rigid parallel jobs: for any
 // feasible schedule, INSERTION list scheduling of the jobs sorted by

@@ -17,9 +17,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/dual"
-	"repro/internal/fptas"
 	"repro/internal/knapsack"
-	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -33,6 +31,11 @@ type Alg1 struct {
 	Eps float64 // ε ∈ (0, 1]
 	// Stats accumulates knapsack cost counters across Try calls.
 	Stats Alg1Stats
+	// Scratch, when non-nil, makes Try reuse partition, knapsack, and
+	// schedule buffers across probes; the returned schedule is then
+	// owned by the scratch (see shelves.Scratch). Nil allocates per
+	// Try.
+	Scratch *Scratch
 }
 
 // Alg1Stats aggregates per-call diagnostics.
@@ -52,22 +55,26 @@ func (a *Alg1) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // the schedule itself allots γ_j(d′) processors.
 func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
+	sc := a.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	in := a.In
 	rho := a.Eps / 6
 	dprime := (1 + 4*rho) * d
-	part, ok := shelves.Compute(in, d)
-	if !ok {
+	part := &sc.Shelves.Part
+	if !shelves.ComputeInto(part, in, d) {
 		return nil, false
 	}
 	capacity := in.M - part.MandSize()
 	if capacity < 0 {
 		return nil, false
 	}
-	shelf1 := append([]int(nil), part.Mand...)
+	shelf1 := append(sc.shelf1[:0], part.Mand...)
 	if len(part.Opt) > 0 && capacity > 0 {
 		threshold := compress.Threshold(rho) // compressible ⇔ γ_j(d) ≥ 1/ρ
-		items := make([]knapsack.Item, 0, len(part.Opt))
-		comp := make([]bool, 0, len(part.Opt))
+		items := sc.items[:0]
+		comp := sc.comp[:0]
 		var incompTotal float64
 		for _, j := range part.Opt {
 			items = append(items, knapsack.Item{ID: j, Size: part.G1[j], Profit: part.Profit(in, j)})
@@ -77,12 +84,13 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 				incompTotal += float64(part.G1[j])
 			}
 		}
+		sc.items, sc.comp = items, comp
 		betaMax := float64(capacity)
 		if incompTotal < betaMax {
 			betaMax = incompTotal
 		}
 		nbar := int(rho*float64(capacity)) + 2
-		sol, err := knapsack.Solve(knapsack.Problem{
+		sol, err := knapsack.SolveScratch(knapsack.Problem{
 			Items:        items,
 			Compressible: comp,
 			C:            capacity,
@@ -90,7 +98,7 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 			AlphaMin:     float64(threshold),
 			BetaMax:      betaMax,
 			NBar:         nbar,
-		})
+		}, &sc.Knap)
 		if err != nil {
 			return nil, false
 		}
@@ -99,23 +107,11 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 		a.Stats.NumAlphas += int64(sol.Stats.NumAlphas)
 		shelf1 = append(shelf1, sol.Selected...)
 	}
-	res, ok := shelves.Build(in, dprime, shelf1, shelves.Options{})
-	if !ok {
+	sc.shelf1 = shelf1
+	if !shelves.BuildScratch(&sc.buildRes, in, dprime, shelf1, shelves.Options{}, &sc.Shelves) {
 		return nil, false
 	}
-	return res.Schedule, true
-}
-
-// regimeDual picks the knapsack-based dual when m < 16n and the FPTAS
-// dual with ε = 1/2 (a 3/2-dual) when m ≥ 16n, exactly as prescribed at
-// the end of §4.2.5: the knapsack parameter bounds (βmax = m = O(n))
-// need m = O(n), and for larger m the simple FPTAS is both valid and
-// faster.
-func regimeDual(in *moldable.Instance, algo dual.Algorithm) dual.Algorithm {
-	if in.M >= 16*in.N() {
-		return &fptas.Dual{In: in, Eps: 0.5}
-	}
-	return algo
+	return sc.buildRes.Schedule, true
 }
 
 // ScheduleAlg1 runs the complete (3/2+eps)-approximation around Alg1,
@@ -127,12 +123,7 @@ func ScheduleAlg1(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.
 // ScheduleAlg1Ctx is ScheduleAlg1 with cancellation, checked between
 // dual probes.
 func ScheduleAlg1Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	if err := checkEps(eps); err != nil {
-		return nil, dual.Report{}, err
-	}
-	est := lt.Estimate(in)
-	algo := regimeDual(in, &Alg1{In: in, Eps: eps / 2})
-	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
+	return ScheduleAlg1ScratchCtx(ctx, in, eps, nil)
 }
 
 func checkEps(eps float64) error {

@@ -3,10 +3,10 @@ package fast
 import (
 	"context"
 
+	"repro/internal/arena"
 	"repro/internal/compress"
 	"repro/internal/dual"
 	"repro/internal/knapsack"
-	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
 	"repro/internal/shelves"
@@ -26,6 +26,11 @@ type Alg3 struct {
 	Eps     float64 // ε ∈ (0, 1]
 	Buckets bool    // §4.3.3 linear variant
 	Stats   Alg3Stats
+	// Scratch, when non-nil, makes Try reuse the typing, knapsack, and
+	// schedule buffers across probes; the returned schedule is then
+	// owned by the scratch (see shelves.Scratch). Nil allocates per
+	// Try.
+	Scratch *Scratch
 }
 
 // Alg3Stats aggregates per-call diagnostics.
@@ -60,49 +65,64 @@ type typeKey struct {
 	t2Idx  int
 }
 
+// roundCount rounds a processor count down on the geometric grid when
+// it exceeds b (a package-level helper, not a closure, so the hot path
+// allocates nothing).
+func roundCount(countGrid []float64, b, g int) int {
+	if g <= b {
+		return g
+	}
+	i := knapsack.RoundDownIdx(countGrid, float64(g))
+	if i < 0 {
+		return g
+	}
+	return int(countGrid[i])
+}
+
 // Try implements one dual round of Algorithm 3.
 func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
+	sc := a.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	in := a.In
 	delta := a.Eps / 5
 	l16 := compress.NewLemma16(delta)
 	rho, b := l16.Rho, l16.B
 	dprime := (1 + delta) * (1 + delta) * d
 
-	part, ok := shelves.Compute(in, d)
-	if !ok {
+	part := &sc.Shelves.Part
+	if !shelves.ComputeInto(part, in, d) {
 		return nil, false
 	}
 	capacity := in.M - part.MandSize()
 	if capacity < 0 {
 		return nil, false
 	}
-	shelf1 := append([]int(nil), part.Mand...)
+	shelf1 := append(sc.shelf1[:0], part.Mand...)
 
 	if len(part.Opt) > 0 && capacity > 0 {
-		countGrid := knapsack.Geom(float64(b), float64(in.M), 1+rho)
-		timeGridD := knapsack.Geom(d/2, d, 1+4*rho)
-		timeGridD2 := knapsack.Geom(d/4, d/2, 1+4*rho)
-		profitGrid := knapsack.Geom(delta*d/2, float64(b)*d/2, 1+delta/float64(b))
+		countGrid := knapsack.GeomAppend(sc.countGrid[:0], float64(b), float64(in.M), 1+rho)
+		timeGridD := knapsack.GeomAppend(sc.timeGridD[:0], d/2, d, 1+4*rho)
+		timeGridD2 := knapsack.GeomAppend(sc.timeGridD2[:0], d/4, d/2, 1+4*rho)
+		profitGrid := knapsack.GeomAppend(sc.profitGrid[:0], delta*d/2, float64(b)*d/2, 1+delta/float64(b))
+		sc.countGrid, sc.timeGridD, sc.timeGridD2, sc.profitGrid = countGrid, timeGridD, timeGridD2, profitGrid
 
-		roundCount := func(g int) int {
-			if g <= b {
-				return g
-			}
-			i := knapsack.RoundDownIdx(countGrid, float64(g))
-			if i < 0 {
-				return g
-			}
-			return int(countGrid[i])
+		// Group the optional jobs into item types. The per-type job
+		// lists are a flat counting sort (typeIdx → offsets →
+		// jobsByType) instead of nested slices, so the whole pass
+		// reuses four scratch buffers.
+		if sc.typeOf == nil {
+			sc.typeOf = make(map[typeKey]int32)
 		}
-
-		// Group the optional jobs into item types.
-		typeOf := make(map[typeKey]int)
-		var types []knapsack.Type
-		var jobsOfType [][]int
-		for _, j := range part.Opt {
+		typeOf := sc.typeOf
+		clear(typeOf)
+		types := sc.types[:0]
+		typeIdx := arena.Grow(sc.typeIdx, len(part.Opt))
+		for k, j := range part.Opt {
 			g1, g2 := part.G1[j], part.G2[j]
-			rg1, rg2 := roundCount(g1), roundCount(g2)
+			rg1, rg2 := roundCount(countGrid, b, g1), roundCount(countGrid, b, g2)
 			var key typeKey
 			var profit float64
 			if rg2 < b {
@@ -137,18 +157,18 @@ func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 			}
 			ti, seen := typeOf[key]
 			if !seen {
-				ti = len(types)
+				ti = int32(len(types))
 				typeOf[key] = ti
 				types = append(types, knapsack.Type{
 					Size:         rg1,
 					Profit:       profit,
 					Compressible: rg1 >= b,
 				})
-				jobsOfType = append(jobsOfType, nil)
 			}
 			types[ti].Count++
-			jobsOfType[ti] = append(jobsOfType[ti], j)
+			typeIdx[k] = ti
 		}
+		sc.types, sc.typeIdx = types, typeIdx
 		a.Stats.Types += int64(len(types))
 
 		var incompTotal float64
@@ -162,29 +182,52 @@ func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 			betaMax = incompTotal
 		}
 		nbar := capacity/b + 2
-		sol, err := knapsack.SolveBounded(types, capacity, rho, float64(b), betaMax, nbar)
+		sol, err := knapsack.SolveBoundedScratch(types, capacity, rho, float64(b), betaMax, nbar, &sc.Knap)
 		if err != nil {
 			return nil, false
 		}
 		a.Stats.PairsComp += int64(sol.Stats.PairsComp)
 		a.Stats.PairsIncomp += int64(sol.Stats.PairsIncomp)
+
+		// Counting sort: group the Opt jobs by type, preserving their
+		// relative order within each type (stable, like the old
+		// per-type append).
+		typeOff := arena.Zeroed(sc.typeOff, len(types)+1)
+		for _, ti := range typeIdx {
+			typeOff[ti+1]++
+		}
+		for t := 1; t <= len(types); t++ {
+			typeOff[t] += typeOff[t-1]
+		}
+		jobsByType := arena.Grow(sc.jobsByType, len(part.Opt))
+		for k, ti := range typeIdx {
+			jobsByType[typeOff[ti]] = int32(part.Opt[k])
+			typeOff[ti]++
+		}
+		sc.typeOff, sc.jobsByType = typeOff, jobsByType
+		// typeOff[ti] is now the END of type ti's group; its start is
+		// end − group size.
 		for ti, cnt := range sol.CountByType {
-			if cnt > len(jobsOfType[ti]) {
-				cnt = len(jobsOfType[ti])
+			end := int(typeOff[ti])
+			start := end - types[ti].Count
+			if cnt > types[ti].Count {
+				cnt = types[ti].Count
 			}
-			shelf1 = append(shelf1, jobsOfType[ti][:cnt]...)
+			for _, j := range jobsByType[start : start+cnt] {
+				shelf1 = append(shelf1, int(j))
+			}
 		}
 	}
+	sc.shelf1 = shelf1
 
 	opts := shelves.Options{}
 	if a.Buckets {
 		opts = shelves.Options{Buckets: true, BucketRatio: 1 + 4*rho}
 	}
-	res, ok := shelves.Build(in, dprime, shelf1, opts)
-	if !ok {
+	if !shelves.BuildScratch(&sc.buildRes, in, dprime, shelf1, opts, &sc.Shelves) {
 		return nil, false
 	}
-	return res.Schedule, true
+	return sc.buildRes.Schedule, true
 }
 
 // upIdx returns the index of the smallest grid element ≥ v, or -1.
@@ -213,12 +256,7 @@ func ScheduleAlg3(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.
 // ScheduleAlg3Ctx is ScheduleAlg3 with cancellation, checked between
 // dual probes.
 func ScheduleAlg3Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	if err := checkEps(eps); err != nil {
-		return nil, dual.Report{}, err
-	}
-	est := lt.Estimate(in)
-	algo := regimeDual(in, &Alg3{In: in, Eps: eps / 2})
-	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
+	return ScheduleAlg3ScratchCtx(ctx, in, eps, nil)
 }
 
 // ScheduleLinear runs the §4.3.3 linear-time variant (bucketed rules).
@@ -229,10 +267,5 @@ func ScheduleLinear(in *moldable.Instance, eps float64) (*schedule.Schedule, dua
 // ScheduleLinearCtx is ScheduleLinear with cancellation, checked
 // between dual probes.
 func ScheduleLinearCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	if err := checkEps(eps); err != nil {
-		return nil, dual.Report{}, err
-	}
-	est := lt.Estimate(in)
-	algo := regimeDual(in, &Alg3{In: in, Eps: eps / 2, Buckets: true})
-	return dual.SearchCtx(ctx, algo, est.Omega, eps/2)
+	return ScheduleLinearScratchCtx(ctx, in, eps, nil)
 }

@@ -1,0 +1,123 @@
+package fast
+
+import (
+	"context"
+
+	"repro/internal/dual"
+	"repro/internal/fptas"
+	"repro/internal/knapsack"
+	"repro/internal/lt"
+	"repro/internal/moldable"
+	"repro/internal/schedule"
+	"repro/internal/shelves"
+)
+
+// Scratch holds the reusable per-call state of the fast (3/2+ε)
+// schedulers (the scratch-reuse discipline of internal/arena): the
+// estimator's buffers, the shelf and knapsack scratches shared by Alg1
+// and Alg3 (only one algorithm runs per call), Alg3's item-typing
+// buffers, and the reusable dual-algorithm structs handed to
+// dual.SearchCtx. A warm Scratch makes a whole ScheduleXScratchCtx run
+// allocation-free in the steady state (map-bucket reuse permitting);
+// the produced schedule is then owned by the scratch and valid until
+// its next use — Clone to keep it. The zero value is ready; a Scratch
+// must not be shared between concurrent calls.
+type Scratch struct {
+	LT      lt.Scratch
+	Shelves shelves.Scratch
+	Knap    knapsack.Scratch
+
+	// Reusable dual-algorithm values: handing &sc.a1 (etc.) to
+	// dual.SearchCtx avoids a heap allocation per Schedule call.
+	a1 Alg1
+	a3 Alg3
+	fp fptas.Dual
+	// fpSched backs the regime dual's schedule double buffer; its LT
+	// field is unused (estimation runs through sc.LT).
+	fpSched fptas.Scratch
+
+	// Build output, reused across probes.
+	buildRes shelves.Result
+
+	// Alg1/Alg3 per-Try buffers.
+	shelf1 []int
+	items  []knapsack.Item
+	comp   []bool
+
+	// Alg3 item typing (§4.3.1): grids, the type table, and the flat
+	// job-by-type buckets (a counting sort, so no per-type slices).
+	countGrid, timeGridD, timeGridD2, profitGrid []float64
+	typeOf                                       map[typeKey]int32
+	types                                        []knapsack.Type
+	typeIdx                                      []int32 // type of part.Opt[k]
+	typeOff                                      []int32 // running offset per type
+	jobsByType                                   []int32 // Opt jobs grouped by type
+}
+
+// dualFor picks the regime-appropriate dual algorithm out of the
+// scratch: the knapsack-based dual (mk) when m < 16n, and the FPTAS
+// dual with ε = 1/2 (a 3/2-dual) when m ≥ 16n, exactly as prescribed
+// at the end of §4.2.5 — the knapsack parameter bounds (βmax = m =
+// O(n)) need m = O(n), and for larger m the simple FPTAS is both valid
+// and faster. The chosen struct lives in the scratch, so the interface
+// conversion allocates nothing.
+func (sc *Scratch) dualFor(in *moldable.Instance, mk func(sc *Scratch) dual.Algorithm) dual.Algorithm {
+	if in.M >= 16*in.N() {
+		sc.fp = fptas.Dual{In: in, Eps: 0.5, Scratch: &sc.fpSched}
+		return &sc.fp
+	}
+	return mk(sc)
+}
+
+func mkAlg1(sc *Scratch) dual.Algorithm {
+	sc.a1.Scratch = sc
+	return &sc.a1
+}
+
+func mkAlg3(sc *Scratch) dual.Algorithm {
+	sc.a3.Scratch = sc
+	return &sc.a3
+}
+
+// ScheduleAlg1ScratchCtx is ScheduleAlg1Ctx drawing every buffer from
+// sc; the returned schedule is owned by the scratch (valid until its
+// next use). A nil scratch uses fresh buffers.
+func ScheduleAlg1ScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, dual.Report{}, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	est := lt.EstimateScratch(in, &sc.LT)
+	sc.a1 = Alg1{In: in, Eps: eps / 2}
+	return dual.SearchCtx(ctx, sc.dualFor(in, mkAlg1), est.Omega, eps/2)
+}
+
+// ScheduleAlg3ScratchCtx is ScheduleAlg3Ctx drawing every buffer from
+// sc; see ScheduleAlg1ScratchCtx for the ownership contract.
+func ScheduleAlg3ScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, dual.Report{}, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	est := lt.EstimateScratch(in, &sc.LT)
+	sc.a3 = Alg3{In: in, Eps: eps / 2}
+	return dual.SearchCtx(ctx, sc.dualFor(in, mkAlg3), est.Omega, eps/2)
+}
+
+// ScheduleLinearScratchCtx is ScheduleLinearCtx drawing every buffer
+// from sc; see ScheduleAlg1ScratchCtx for the ownership contract.
+func ScheduleLinearScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, dual.Report{}, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	est := lt.EstimateScratch(in, &sc.LT)
+	sc.a3 = Alg3{In: in, Eps: eps / 2, Buckets: true}
+	return dual.SearchCtx(ctx, sc.dualFor(in, mkAlg3), est.Omega, eps/2)
+}

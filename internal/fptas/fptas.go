@@ -26,6 +26,25 @@ import (
 type Dual struct {
 	In  *moldable.Instance
 	Eps float64 // ε ∈ (0, 1]
+	// Scratch, when non-nil, makes Try reuse schedule buffers across
+	// probes (swap-on-success double buffering, see
+	// schedule.DoubleBuffer): the returned schedule is then owned by
+	// the scratch and valid only until the search's next accepted
+	// probe. Nil keeps the allocate-per-Try behavior.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable state of one FPTAS schedule call chain
+// (see internal/arena): the estimator's buffers and the dual's
+// schedule double buffer. Zero value ready; not safe for concurrent
+// use.
+type Scratch struct {
+	LT    lt.Scratch
+	Sched schedule.DoubleBuffer
+	// d is the reusable Dual handed to dual.SearchCtx, kept here so
+	// the interface conversion does not heap-allocate a fresh struct
+	// per call.
+	d Dual
 }
 
 // Applicable reports whether the large-machine condition m ≥ 8n/ε holds,
@@ -43,7 +62,12 @@ func (a *Dual) Guarantee() float64 { return 1 + a.Eps }
 func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	t := (1 + a.Eps) * d
 	in := a.In
-	s := schedule.New(in.M)
+	var s *schedule.Schedule
+	if a.Scratch != nil {
+		s = a.Scratch.Sched.Spare(in.M)
+	} else {
+		s = schedule.New(in.M)
+	}
 	used := 0
 	for i, j := range in.Jobs {
 		g, ok := gamma.Gamma(j, in.M, t)
@@ -55,6 +79,9 @@ func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 			return nil, false
 		}
 		s.Add(i, g, 0, j.Time(g))
+	}
+	if a.Scratch != nil {
+		a.Scratch.Sched.Commit()
 	}
 	return s, true
 }
@@ -79,6 +106,15 @@ func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Repo
 // probes; a canceled context yields an error matching
 // scherr.ErrCanceled.
 func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleScratchCtx(ctx, in, eps, nil)
+}
+
+// ScheduleScratchCtx is ScheduleCtx with caller-supplied scratch: a
+// warm Scratch makes the whole run (estimation + every dual probe)
+// allocation-free. The returned schedule is then owned by the scratch
+// — valid until its next use; Clone to keep it. A nil scratch uses
+// fresh buffers, making the result caller-owned as before.
+func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, dual.Report{}, scherr.BadEps("fptas", eps)
 	}
@@ -86,8 +122,12 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*sche
 	if !Applicable(in.N(), in.M, half) {
 		return nil, dual.Report{}, scherr.Regime("fptas", in.N(), in.M, eps, MinM(in.N(), eps))
 	}
-	est := lt.Estimate(in)
-	return dual.SearchCtx(ctx, &Dual{In: in, Eps: half}, est.Omega, half)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	est := lt.EstimateScratch(in, &sc.LT)
+	sc.d = Dual{In: in, Eps: half, Scratch: sc}
+	return dual.SearchCtx(ctx, &sc.d, est.Omega, half)
 }
 
 // AllotmentRule2 is the second allotment rule of §3.1, used in the

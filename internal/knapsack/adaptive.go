@@ -1,6 +1,6 @@
 package knapsack
 
-import "sort"
+import "slices"
 
 // Grid is the adaptive normalization interval structure of Lemma 12.
 // The capacity range [α_0, α_k] is partitioned into intervals
@@ -19,15 +19,24 @@ type Grid struct {
 // geometric progression of Algorithm 2), lower bound alpha0 = α_0,
 // normalization factor rho, and solution-size bound nbar ≥ 1.
 func NewGrid(A []float64, alpha0, rho float64, nbar int) *Grid {
+	g := &Grid{}
+	g.Reset(A, alpha0, rho, nbar)
+	return g
+}
+
+// Reset rebuilds the structure in place, reusing the point buffer so a
+// warm Grid re-parameterizes without allocating.
+func (g *Grid) Reset(A []float64, alpha0, rho float64, nbar int) {
 	if nbar < 1 {
 		nbar = 1
 	}
-	g := &Grid{}
+	g.points = g.points[:0]
+	g.amax = 0
 	if len(A) == 0 {
-		return g
+		return
 	}
 	g.amax = A[len(A)-1]
-	pts := []float64{alpha0}
+	pts := append(g.points, alpha0)
 	prev := alpha0
 	for _, ai := range A {
 		ui := rho / ((1 - rho) * float64(nbar)) * ai
@@ -49,7 +58,7 @@ func NewGrid(A []float64, alpha0, rho float64, nbar int) *Grid {
 		pts = append(pts, ai)
 		prev = ai
 	}
-	sort.Float64s(pts)
+	slices.Sort(pts)
 	// dedupe
 	out := pts[:0]
 	for i, p := range pts {
@@ -58,7 +67,6 @@ func NewGrid(A []float64, alpha0, rho float64, nbar int) *Grid {
 		}
 	}
 	g.points = out
-	return g
 }
 
 // Norm rounds s down to the nearest grid point ≤ s. Values below the

@@ -1,5 +1,7 @@
 package knapsack
 
+import "repro/internal/arena"
+
 // Bounded-knapsack support (§4.3): Algorithm 3 reduces the shelf-1
 // selection to a bounded knapsack over O(poly(1/δ)·polylog(δm)) item
 // types, then expands each type into O(log count) 0/1 "container" items
@@ -27,9 +29,11 @@ type Container struct {
 // parallel slices are the 0/1 items, their type/multiplicity metadata,
 // and their compressibility flags. Item IDs index meta.
 func Containers(types []Type, cap int) ([]Item, []Container, []bool) {
-	var items []Item
-	var meta []Container
-	var comp []bool
+	return containersAppend(nil, nil, nil, types, cap)
+}
+
+// containersAppend is Containers appending onto reused buffers.
+func containersAppend(items []Item, meta []Container, comp []bool, types []Type, cap int) ([]Item, []Container, []bool) {
 	for ti, t := range types {
 		if t.Count <= 0 || t.Size <= 0 {
 			continue
@@ -68,7 +72,19 @@ type BoundedSolution struct {
 // in Problem (computed over container items by the caller or derived
 // here with safe defaults when zero).
 func SolveBounded(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar int) (BoundedSolution, error) {
-	items, meta, comp := Containers(types, C)
+	return SolveBoundedScratch(types, C, rhoFull, alphaMin, betaMax, nbar, nil)
+}
+
+// SolveBoundedScratch is SolveBounded with caller-supplied scratch: a
+// warm Scratch makes the call allocation-free, and the returned
+// CountByType aliases the scratch (valid until its next use). A nil
+// scratch uses fresh buffers.
+func SolveBoundedScratch(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar int, sc *Scratch) (BoundedSolution, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	items, meta, comp := containersAppend(sc.items[:0], sc.meta[:0], sc.compFlags[:0], types, C)
+	sc.items, sc.meta, sc.compFlags = items, meta, comp
 	if alphaMin <= 0 {
 		for i, it := range items {
 			if comp[i] && (alphaMin <= 0 || float64(it.Size) < alphaMin) {
@@ -96,7 +112,7 @@ func SolveBounded(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar 
 			nbar = 1
 		}
 	}
-	sol, err := Solve(Problem{
+	sol, err := SolveScratch(Problem{
 		Items:        items,
 		Compressible: comp,
 		C:            C,
@@ -104,11 +120,12 @@ func SolveBounded(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar 
 		AlphaMin:     alphaMin,
 		BetaMax:      betaMax,
 		NBar:         nbar,
-	})
+	}, sc)
 	if err != nil {
 		return BoundedSolution{}, err
 	}
-	out := BoundedSolution{CountByType: make([]int, len(types)), Profit: sol.Profit, Stats: sol.Stats}
+	sc.countByType = arena.Zeroed(sc.countByType, len(types))
+	out := BoundedSolution{CountByType: sc.countByType, Profit: sol.Profit, Stats: sol.Stats}
 	for _, id := range sol.Selected {
 		out.CountByType[meta[id].Type] += meta[id].Mult
 	}

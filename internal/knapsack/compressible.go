@@ -57,12 +57,23 @@ type Solution struct {
 // sizes by at most n̄·U_i; both slacks together consume exactly the full
 // compressibility ρ′.
 func Solve(p Problem) (Solution, error) {
+	return SolveScratch(p, nil)
+}
+
+// SolveScratch is Solve with caller-supplied scratch buffers: a warm
+// Scratch makes the whole call allocation-free, and the returned
+// Solution.Selected aliases the scratch (valid until its next use). A
+// nil scratch uses fresh buffers, making the result caller-owned.
+func SolveScratch(p Problem, sc *Scratch) (Solution, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if p.RhoFull <= 0 || p.RhoFull >= 1 {
 		return Solution{}, fmt.Errorf("knapsack: rhoFull=%v out of range", p.RhoFull)
 	}
 	rho := compress.HalfFactor(p.RhoFull)
 	C := float64(p.C)
-	var comp, incomp []int // item indices
+	comp, incomp := sc.comp[:0], sc.incomp[:0] // item indices
 	var incompTotal float64
 	for i, it := range p.Items {
 		if it.Size <= 0 {
@@ -75,6 +86,7 @@ func Solve(p Problem) (Solution, error) {
 			incompTotal += float64(it.Size)
 		}
 	}
+	sc.comp, sc.incomp = comp, incomp
 	betaMax := p.BetaMax
 	if betaMax <= 0 || betaMax > C {
 		betaMax = C
@@ -105,19 +117,21 @@ func Solve(p Problem) (Solution, error) {
 	// [αmin, C] has an α̃ ∈ A with α ≤ α̃ ≤ α/(1−ρ) (Eq. 17). When
 	// αmin/(1−ρ) already exceeds C the set degenerates to that single
 	// value (Definition 13 with a non-positive exponent range).
-	var A []float64
+	A := sc.alphas[:0]
 	if len(comp) > 0 && alphaMin <= C {
 		lo := alphaMin / (1 - rho)
 		hi := C
 		if lo > hi {
 			hi = lo
 		}
-		A = Geom(lo, hi, 1/(1-rho))
+		A = GeomAppend(A, lo, hi, 1/(1-rho))
 	}
+	sc.alphas = A
 	stats.NumAlphas = len(A)
 
 	// Incompressible one-pass DP up to betaMax (§4.2.4, first part).
-	incList := NewPairList()
+	incList := &sc.incList
+	incList.Reset()
 	for _, i := range incomp {
 		incList.Add(i, float64(p.Items[i].Size), p.Items[i].Profit, betaMax, nil)
 	}
@@ -126,20 +140,26 @@ func Solve(p Problem) (Solution, error) {
 
 	// Compressible DP with adaptive normalization over the grid.
 	var compList *PairList
-	var grid *Grid
 	if len(A) > 0 {
-		grid = NewGrid(A, alphaMin, rho, nbar)
+		grid := &sc.grid
+		grid.Reset(A, alphaMin, rho, nbar)
 		stats.GridPoints = grid.NumPoints()
-		compList = NewPairList()
+		compList = &sc.compList
+		compList.Reset()
 		amax := A[len(A)-1]
+		// Hoist the method value out of the loop: Add only calls norm,
+		// so the bound closure stays on the stack.
+		norm := grid.Norm
 		for _, i := range comp {
-			compList.Add(i, float64(p.Items[i].Size), p.Items[i].Profit, amax, grid.Norm)
+			compList.Add(i, float64(p.Items[i].Size), p.Items[i].Profit, amax, norm)
 		}
 		stats.PairsComp = compList.Pairs()
 		stats.CompFrontier = compList.Len()
 	}
 
 	// Combine: for each α̃ ∈ A ∪ {0}, β(α̃) = C − (1−ρ)α̃ (βmax for α̃=0).
+	// A plain loop (index −1 standing for α̃ = 0) rather than a closure,
+	// so the captured state stays on the stack.
 	bestProfit := math.Inf(-1)
 	var bestCompNode, bestIncNode int32 = -1, -1
 	bestAlpha := 0.0
@@ -148,7 +168,11 @@ func Solve(p Problem) (Solution, error) {
 	// can land it one ulp below, hiding the boundary pair. Item sizes are
 	// integers, so the nudge cannot admit an oversized selection.
 	slack := 1e-9 * (C + 1)
-	consider := func(alpha float64) {
+	for ai := -1; ai < len(A); ai++ {
+		alpha := 0.0
+		if ai >= 0 {
+			alpha = A[ai]
+		}
 		var pc float64
 		var nc int32 = -1
 		if alpha > 0 && compList != nil {
@@ -171,32 +195,36 @@ func Solve(p Problem) (Solution, error) {
 			bestAlpha = alpha
 		}
 	}
-	consider(0)
-	for _, alpha := range A {
-		consider(alpha)
-	}
 	stats.ChosenAlpha = bestAlpha
 
 	sol := Solution{Profit: math.Max(bestProfit, 0), Stats: stats}
-	seen := map[int]bool{}
-	addSel := func(l *PairList, node int32) {
-		if l == nil || node < 0 {
-			return
+	// Backtrack both DPs into the shared selection buffer. The two item
+	// sets are disjoint (every item is either compressible or not) and a
+	// DP path contains each item at most once, so no dedup is needed.
+	sc.selected = sc.selected[:0]
+	for _, l := range [2]*PairList{compList, incList} {
+		if l == nil {
+			continue
 		}
-		for _, idx := range l.Backtrack(node) {
-			if !seen[idx] {
-				seen[idx] = true
-				sol.Selected = append(sol.Selected, p.Items[idx].ID)
-				if p.Compressible[idx] {
-					sol.SizeCompressed += (1 - p.RhoFull) * float64(p.Items[idx].Size)
-				} else {
-					sol.SizeCompressed += float64(p.Items[idx].Size)
-				}
+		node := bestCompNode
+		if l == incList {
+			node = bestIncNode
+		}
+		for ; node >= 0; node = l.arena[node].parent {
+			it := l.arena[node].item
+			if it < 0 {
+				continue
+			}
+			idx := int(it)
+			sc.selected = append(sc.selected, p.Items[idx].ID)
+			if p.Compressible[idx] {
+				sol.SizeCompressed += (1 - p.RhoFull) * float64(p.Items[idx].Size)
+			} else {
+				sol.SizeCompressed += float64(p.Items[idx].Size)
 			}
 		}
 	}
-	addSel(compList, bestCompNode)
-	addSel(incList, bestIncNode)
+	sol.Selected = sc.selected
 	// Theorem 15 guarantees the compressed size fits; tolerate only float
 	// noise here and fail loudly otherwise (callers rely on it).
 	if sol.SizeCompressed > C*(1+1e-9) {

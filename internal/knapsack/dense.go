@@ -1,5 +1,7 @@
 package knapsack
 
+import "repro/internal/arena"
+
 // Item is a 0/1 knapsack item with integer size and non-negative profit.
 // ID is an opaque caller tag (job index, container index, …).
 type Item struct {
@@ -16,18 +18,30 @@ type Item struct {
 //
 // Returns the selected item IDs and the optimal profit.
 func SolveDense(items []Item, C int) ([]int, float64) {
+	return SolveDenseScratch(items, C, nil)
+}
+
+// SolveDenseScratch is SolveDense with caller-supplied scratch: the
+// decision bitsets and DP row are reused (as one flat allocation), so
+// a warm Scratch runs the DP allocation-free. The returned selection
+// aliases the scratch. A nil scratch uses fresh buffers.
+func SolveDenseScratch(items []Item, C int, sc *Scratch) ([]int, float64) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if C < 0 {
 		return nil, 0
 	}
 	words := (C + 64) / 64
-	take := make([][]uint64, len(items))
-	dp := make([]float64, C+1)
+	bits := arena.Zeroed(sc.denseBits, words*len(items))
+	sc.denseBits = bits
+	dp := arena.Zeroed(sc.denseDP, C+1)
+	sc.denseDP = dp
 	for i, it := range items {
-		row := make([]uint64, words)
-		take[i] = row
 		if it.Profit <= 0 || it.Size > C || it.Size < 0 {
 			continue
 		}
+		row := bits[i*words : (i+1)*words]
 		for c := C; c >= it.Size; c-- {
 			if v := dp[c-it.Size] + it.Profit; v > dp[c] {
 				dp[c] = v
@@ -42,14 +56,15 @@ func SolveDense(items []Item, C int) ([]int, float64) {
 			best = c
 		}
 	}
-	var sel []int
+	sel := sc.denseSel[:0]
 	c := best
 	for i := len(items) - 1; i >= 0; i-- {
-		if take[i][c/64]&(1<<(c%64)) != 0 {
+		if bits[i*words+c/64]&(1<<(c%64)) != 0 {
 			sel = append(sel, items[i].ID)
 			c -= items[i].Size
 		}
 	}
+	sc.denseSel = sel
 	return sel, dp[best]
 }
 

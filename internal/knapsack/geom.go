@@ -14,19 +14,25 @@ import "math"
 // and the last is the first power ≥ U. Requires 0 < L, L ≤ U, x > 1.
 // By Lemma 14, |geom(L,U,x)| = O(log(U/L)/(x−1)) for 1 < x < 2.
 func Geom(L, U, x float64) []float64 {
+	return GeomAppend(nil, L, U, x)
+}
+
+// GeomAppend is Geom appending onto dst (usually dst[:0] of a reused
+// buffer), so hot callers rebuild their grids without allocating.
+// Invalid parameters return dst unchanged, mirroring Geom's nil.
+func GeomAppend(dst []float64, L, U, x float64) []float64 {
 	if !(L > 0) || !(U >= L) || !(x > 1) {
-		return nil
+		return dst
 	}
-	var g []float64
 	v := L
 	for {
-		g = append(g, v)
+		dst = append(dst, v)
 		if v >= U {
 			break
 		}
 		v *= x
 	}
-	return g
+	return dst
 }
 
 // RoundDownIdx returns the index of the largest grid element ≤ a, or -1

@@ -1,7 +1,5 @@
 package knapsack
 
-import "sort"
-
 // PairList is Lawler's dynamic program over (profit, size) pairs with
 // dominance pruning (§4.2.3): after each item, a pair (p, s) survives
 // only if no other pair has at least the profit with at most the size.
@@ -27,9 +25,16 @@ type pairNode struct {
 // NewPairList returns a list containing only the empty selection (0,0).
 func NewPairList() *PairList {
 	l := &PairList{}
-	l.arena = append(l.arena, pairNode{0, 0, -1, -1})
-	l.frontier = append(l.frontier, 0)
+	l.Reset()
 	return l
+}
+
+// Reset restores the list to the empty selection, keeping every buffer
+// (arena, frontier, scratch) so a warm PairList runs its DP without
+// allocating (the scratch-reuse discipline of internal/arena).
+func (l *PairList) Reset() {
+	l.arena = append(l.arena[:0], pairNode{0, 0, -1, -1})
+	l.frontier = append(l.frontier[:0], 0)
 }
 
 // Len returns the current frontier length.
@@ -88,7 +93,8 @@ func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) f
 	}
 	// merged may be out of order when norm collapses sizes; restore the
 	// invariant (sizes ascending). Normalization is monotone so this is
-	// a near-sorted sequence; sort.Slice is fine at these lengths.
+	// a near-sorted sequence; insertion sort handles it in near-linear
+	// time without the closure/boxing allocations of sort.Slice.
 	sorted := true
 	for i := 1; i < len(merged); i++ {
 		if l.arena[merged[i]].size < l.arena[merged[i-1]].size {
@@ -97,13 +103,20 @@ func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) f
 		}
 	}
 	if !sorted {
-		sort.Slice(merged, func(a, b int) bool {
-			na, nb := l.arena[merged[a]], l.arena[merged[b]]
-			if na.size != nb.size {
-				return na.size < nb.size
+		for i := 1; i < len(merged); i++ {
+			x := merged[i]
+			xs, xp := l.arena[x].size, l.arena[x].profit
+			k := i - 1
+			for k >= 0 {
+				ks, kp := l.arena[merged[k]].size, l.arena[merged[k]].profit
+				if ks < xs || (ks == xs && kp <= xp) {
+					break
+				}
+				merged[k+1] = merged[k]
+				k--
 			}
-			return na.profit < nb.profit
-		})
+			merged[k+1] = x
+		}
 		// re-apply dominance
 		out := merged[:0]
 		bp := -1.0
@@ -115,8 +128,9 @@ func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) f
 		}
 		merged = out
 	}
-	l.scratch = l.frontier[:0] // reuse the old slice as next scratch
-	l.frontier = append([]int32(nil), merged...)
+	// Swap buffers instead of copying: the retired frontier becomes the
+	// next call's scratch, so steady-state Adds allocate nothing.
+	l.frontier, l.scratch = merged, old[:0]
 }
 
 // Best returns the maximum profit over frontier pairs with size ≤ cap
@@ -152,13 +166,19 @@ func (l *PairList) Size(node int32) float64 {
 // Backtrack returns the item tags on the path from node to the root,
 // i.e. the selected items of the solution represented by node.
 func (l *PairList) Backtrack(node int32) []int {
-	var items []int
+	return l.BacktrackAppend(nil, node)
+}
+
+// BacktrackAppend appends the item tags on the path from node to the
+// root onto dst, enabling allocation-free backtracking into a reused
+// buffer.
+func (l *PairList) BacktrackAppend(dst []int, node int32) []int {
 	for node >= 0 {
 		n := l.arena[node]
 		if n.item >= 0 {
-			items = append(items, int(n.item))
+			dst = append(dst, int(n.item))
 		}
 		node = n.parent
 	}
-	return items
+	return dst
 }

@@ -22,8 +22,10 @@ package lt
 
 import (
 	"math"
+	"slices"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/gamma"
 	"repro/internal/listsched"
 	"repro/internal/moldable"
@@ -34,8 +36,20 @@ import (
 type Result struct {
 	Omega  moldable.Time // ω: ω ≤ OPT ≤ 2ω
 	VStar  moldable.Time // threshold whose canonical allotment attains ω
-	Allot  []int         // a_j = γ_j(VStar)
+	Allot  []int         // a_j = γ_j(VStar); owned by the Scratch when one is supplied
 	Rounds int           // matrix-search rounds (diagnostics)
+}
+
+// Scratch holds the reusable buffers of one EstimateScratch call chain
+// (see internal/arena): interval bounds, weighted-median rounds,
+// surviving breakpoint values, and the result allotment. A Scratch
+// must not be shared between concurrent calls; the zero value is ready
+// to use.
+type Scratch struct {
+	a, b   []int
+	med    []wtuple
+	values []moldable.Time
+	allot  []int
 }
 
 // evalResult is f(v) = max(W(v)/m, T(v)) split into parts.
@@ -97,8 +111,40 @@ func tupleLess(a, b tuple) bool {
 	return a.p > b.p
 }
 
+// wtuple is a candidate median tuple weighted by the size of the
+// active interval it represents.
+type wtuple struct {
+	tuple
+	w int64
+}
+
+// wtupleCmp orders wtuples for the weighted-median selection. A
+// package-level function (not a closure) so sorting stays
+// allocation-free on the hot path.
+func wtupleCmp(x, y wtuple) int {
+	if tupleLess(x.tuple, y.tuple) {
+		return -1
+	}
+	if tupleLess(y.tuple, x.tuple) {
+		return 1
+	}
+	return 0
+}
+
 // Estimate computes ω and the canonical allotment attaining it.
 func Estimate(in *moldable.Instance) Result {
+	return EstimateScratch(in, nil)
+}
+
+// EstimateScratch is Estimate with caller-supplied scratch buffers: a
+// warm Scratch makes the whole estimation allocation-free. The
+// returned Result.Allot aliases the scratch and is valid until its
+// next use; a nil scratch uses fresh buffers (then the caller owns the
+// result outright).
+func EstimateScratch(in *moldable.Instance, sc *Scratch) Result {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	n, m := in.N(), in.M
 	// vmax = max_j t_j(1) is the largest breakpoint; it is always
 	// feasible. If even vmax has W/m > T, no breakpoint flips the
@@ -110,23 +156,20 @@ func Estimate(in *moldable.Instance) Result {
 		}
 	}
 	if !pred(in, vmax) {
-		return finalize(in, vmax, math.Inf(1), 0)
+		return finalize(in, vmax, math.Inf(1), 0, sc)
 	}
 
 	// Per-job active interval [a_i, b_i] of processor counts whose
 	// breakpoints may still be v̂ (the least breakpoint satisfying pred).
-	a := make([]int, n)
-	b := make([]int, n)
+	a := arena.Grow(sc.a, n)
+	b := arena.Grow(sc.b, n)
+	sc.a, sc.b = a, b
 	for i := range a {
 		a[i], b[i] = 1, m
 	}
 	total := int64(n) * int64(m)
 	rounds := 0
-	type wtuple struct {
-		tuple
-		w int64
-	}
-	med := make([]wtuple, 0, n)
+	med := sc.med[:0]
 	for total > int64(4*n) && rounds < 300 {
 		rounds++
 		med = med[:0]
@@ -143,7 +186,7 @@ func Estimate(in *moldable.Instance) Result {
 		if len(med) == 0 {
 			break
 		}
-		sort.Slice(med, func(x, y int) bool { return tupleLess(med[x].tuple, med[y].tuple) })
+		slices.SortFunc(med, wtupleCmp)
 		var cum int64
 		var tmed tuple
 		for _, wt := range med {
@@ -219,17 +262,22 @@ func Estimate(in *moldable.Instance) Result {
 			}
 		}
 	}
+	sc.med = med
 
 	// Collect the surviving candidate values and binary search the least
 	// one satisfying the predicate. v̂ is guaranteed to have survived.
-	values := make([]moldable.Time, 0, total)
+	if int64(cap(sc.values)) < total+1 {
+		sc.values = make([]moldable.Time, 0, total+1)
+	}
+	values := sc.values[:0]
 	for i := 0; i < n; i++ {
 		for p := a[i]; p <= b[i]; p++ {
 			values = append(values, in.Jobs[i].Time(p))
 		}
 	}
 	values = append(values, vmax) // safety: pred(vmax) holds
-	sort.Float64s(values)
+	sc.values = values
+	slices.Sort(values)
 	values = dedupe(values)
 	lo, hi := 0, len(values)-1 // invariant: pred(values[hi]) true
 	for lo < hi {
@@ -252,10 +300,10 @@ func Estimate(in *moldable.Instance) Result {
 			}
 		}
 	}
-	return finalize(in, vhat, predv, rounds)
+	return finalize(in, vhat, predv, rounds, sc)
 }
 
-func finalize(in *moldable.Instance, vhat, predv moldable.Time, rounds int) Result {
+func finalize(in *moldable.Instance, vhat, predv moldable.Time, rounds int, sc *Scratch) Result {
 	fh := evaluate(in, vhat).f(in.M)
 	vstar, omega := vhat, fh
 	if !math.IsInf(predv, 0) {
@@ -263,7 +311,8 @@ func finalize(in *moldable.Instance, vhat, predv moldable.Time, rounds int) Resu
 			vstar, omega = predv, fp
 		}
 	}
-	allot := make([]int, in.N())
+	allot := arena.Grow(sc.allot, in.N())
+	sc.allot = allot
 	for i, j := range in.Jobs {
 		g, _ := gamma.Gamma(j, in.M, vstar)
 		allot[i] = g

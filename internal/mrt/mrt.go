@@ -25,6 +25,25 @@ type Dual struct {
 	In *moldable.Instance
 	// Stats accumulates cost counters across Try calls.
 	Stats Stats
+	// Scratch, when non-nil, makes Try reuse the partition, dense-DP,
+	// and schedule buffers across probes; the returned schedule is then
+	// owned by the scratch (see shelves.Scratch). Nil allocates per
+	// Try.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable buffers of the MRT scheduler (the
+// scratch-reuse discipline of internal/arena). Zero value ready; not
+// safe for concurrent use.
+type Scratch struct {
+	LT      lt.Scratch
+	Shelves shelves.Scratch
+	Knap    knapsack.Scratch
+
+	d        Dual // reusable dual handed to dual.SearchCtx
+	items    []knapsack.Item
+	shelf1   []int
+	buildRes shelves.Result
 }
 
 // Stats counts the dominating operations.
@@ -39,29 +58,35 @@ func (a *Dual) Guarantee() float64 { return 1.5 }
 // Try implements the dual round for target makespan d.
 func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
+	sc := a.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	in := a.In
-	part, ok := shelves.Compute(in, d)
-	if !ok {
+	part := &sc.Shelves.Part
+	if !shelves.ComputeInto(part, in, d) {
 		return nil, false
 	}
 	capacity := in.M - part.MandSize()
 	if capacity < 0 {
 		return nil, false
 	}
-	var shelf1 []int
+	shelf1 := sc.shelf1[:0]
 	if len(part.Opt) > 0 && capacity > 0 {
-		items := make([]knapsack.Item, 0, len(part.Opt))
+		items := sc.items[:0]
 		for _, j := range part.Opt {
 			items = append(items, knapsack.Item{ID: j, Size: part.G1[j], Profit: part.Profit(in, j)})
 		}
+		sc.items = items
 		a.Stats.KnapsackCells += int64(len(items)) * int64(capacity+1)
-		shelf1, _ = knapsack.SolveDense(items, capacity)
+		sel, _ := knapsack.SolveDenseScratch(items, capacity, &sc.Knap)
+		shelf1 = append(shelf1, sel...)
 	}
-	res, ok := shelves.Build(in, d, shelf1, shelves.Options{})
-	if !ok {
+	sc.shelf1 = shelf1
+	if !shelves.BuildScratch(&sc.buildRes, in, d, shelf1, shelves.Options{}, &sc.Shelves) {
 		return nil, false
 	}
-	return res.Schedule, true
+	return sc.buildRes.Schedule, true
 }
 
 // Schedule runs the full (3/2+eps)-approximation: Ludwig–Tiwari
@@ -73,9 +98,20 @@ func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Repo
 // ScheduleCtx is Schedule with cancellation, checked between dual
 // probes.
 func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
+	return ScheduleScratchCtx(ctx, in, eps, nil)
+}
+
+// ScheduleScratchCtx is ScheduleCtx drawing every buffer from sc; the
+// returned schedule is then owned by the scratch (valid until its next
+// use). A nil scratch uses fresh buffers.
+func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, dual.Report{}, scherr.BadEps("mrt", eps)
 	}
-	est := lt.Estimate(in)
-	return dual.SearchCtx(ctx, &Dual{In: in}, est.Omega, eps)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	est := lt.EstimateScratch(in, &sc.LT)
+	sc.d = Dual{In: in, Scratch: sc}
+	return dual.SearchCtx(ctx, &sc.d, est.Omega, eps)
 }

@@ -1,5 +1,6 @@
 // Package parallel provides the shared-memory parallelism utilities of
-// the repo, in two tiers:
+// the repo (DESIGN.md §5; engineering substrate, not part of the
+// paper — Jansen & Land's algorithms are sequential), in two tiers:
 //
 //   - Fork-join (ForEach, Map, Errors): a bounded loop over an index
 //     range with contiguous chunking (one chunk per worker, so false

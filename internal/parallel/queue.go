@@ -116,6 +116,16 @@ func (p *Pool) shard(key uint64) int {
 	return int((key * 0x9e3779b97f4a7c15) % uint64(len(p.shards)))
 }
 
+// Size returns the number of workers (= shards).
+func (p *Pool) Size() int { return len(p.shards) }
+
+// ShardOf returns the worker index that tasks submitted with key run
+// on. Because each shard is owned by exactly one worker goroutine,
+// per-worker state indexed by ShardOf(key) — such as the scheduling
+// scratch buffers internal/service pools — is accessed race-free by
+// tasks keyed to it.
+func (p *Pool) ShardOf(key uint64) int { return p.shard(key) }
+
 // Drain blocks until every task submitted so far has completed. Other
 // goroutines may keep submitting; their tasks extend the wait.
 func (p *Pool) Drain() {

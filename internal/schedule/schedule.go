@@ -1,5 +1,12 @@
 // Package schedule represents moldable-job schedules and provides exact
-// feasibility validation and ASCII Gantt rendering.
+// feasibility validation and ASCII Gantt rendering — the output side of
+// every algorithm in the repo: the shelf constructions of Jansen & Land
+// §4.1 (Lemmas 7–9) emit their three-shelf layouts here, the FPTAS of
+// §3 its simultaneous-start allotments, and Validate re-checks the
+// feasibility invariants (cumulative usage ≤ m, completeness, makespan
+// accounting) those lemmas promise. DoubleBuffer supports the
+// dual-search hot path (DESIGN.md §6): swap-on-success reuse of
+// schedule buffers across probes.
 //
 // A schedule assigns each job a processor count, a start time and
 // (optionally) a contiguous block of concrete processor IDs. Moldable
@@ -38,6 +45,39 @@ type Schedule struct {
 
 // New returns an empty schedule for m processors.
 func New(m int) *Schedule { return &Schedule{M: m} }
+
+// Reset empties the schedule and re-targets it to m processors, keeping
+// the placement buffer so steady-state refills allocate nothing. It is
+// the entry point of the scratch-reuse discipline (internal/arena).
+func (s *Schedule) Reset(m int) {
+	s.M = m
+	s.Placements = s.Placements[:0]
+}
+
+// DoubleBuffer hands out reusable schedules with a swap-on-commit
+// protocol, for dual algorithms whose Try must not clobber the last
+// accepted schedule while probing a new target: dual.Search retains at
+// most one successful schedule at a time, so two buffers suffice.
+// Spare always returns the buffer NOT currently retained; a failed
+// probe simply abandons it, while a successful probe calls Commit,
+// which swaps the roles. Schedules handed out this way are owned by
+// the buffer: they remain valid only until the next Spare call after a
+// Commit, and callers that outlive the scratch must Clone.
+type DoubleBuffer struct {
+	bufs  [2]Schedule
+	spare int
+}
+
+// Spare returns the non-retained buffer, reset for m processors.
+func (db *DoubleBuffer) Spare(m int) *Schedule {
+	s := &db.bufs[db.spare]
+	s.Reset(m)
+	return s
+}
+
+// Commit marks the last Spare as retained; the next Spare returns the
+// other buffer.
+func (db *DoubleBuffer) Commit() { db.spare ^= 1 }
 
 // Add appends a placement without a concrete processor assignment.
 func (s *Schedule) Add(job, procs int, start, duration moldable.Time) {

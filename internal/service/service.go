@@ -17,6 +17,12 @@
 //     burst of the same instance computes once and then hits the cache
 //     instead of stampeding.
 //
+// A fourth mechanism rides on the pool's shard ownership: every worker
+// keeps a core.Scratch reused across all submissions it runs, so the
+// scheduling hot path allocates nothing after warm-up (DESIGN.md §6);
+// results are cloned at this boundary before they escape into the
+// cache or to callers.
+//
 // Submissions are asynchronous (Submit/SubmitCtx return a ticket;
 // Wait/WaitCtx/Poll collect, Done observes) with synchronous
 // conveniences (Do, DoCtx, DoBatch, DoBatchCtx) on top. SubmitCtx
@@ -105,6 +111,13 @@ type Scheduler struct {
 	pool    *parallel.Pool
 	results *resultCache
 	memos   *memoRegistry
+	// scratch holds one core.Scratch per pool worker (indexed by
+	// pool.ShardOf(key)): each worker reuses its scratch across every
+	// submission it runs, so the scheduling hot path stops allocating
+	// after warm-up. Safe without locks because a shard's tasks run on
+	// exactly one worker goroutine; slots are lazily initialized by
+	// their owning worker.
+	scratch []*core.Scratch
 	tasks   sync.Map    // ticket → *task
 	retired chan uint64 // FIFO of completed tickets, bounding uncollected retention
 	nextID  atomic.Uint64
@@ -121,12 +134,14 @@ type task struct {
 // New starts a scheduler.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
+	pool := parallel.NewPool(cfg.Workers)
 	return &Scheduler{
 		cfg:     cfg,
 		h:       newHasher(),
-		pool:    parallel.NewPool(cfg.Workers),
+		pool:    pool,
 		results: newResultCache(cfg.CacheShards, cfg.ResultCacheCap),
 		memos:   newMemoRegistry(cfg.MemoCap, int64(cfg.MemoBudgetMB)<<20),
+		scratch: make([]*core.Scratch, pool.Size()),
 		retired: make(chan uint64, cfg.TicketCap),
 	}
 }
@@ -214,13 +229,31 @@ func (s *Scheduler) run(ctx context.Context, id uint64, t *task, in *moldable.In
 			exec, looseStats = moldable.MemoizeInstance(in)
 		}
 	}
-	sched, rep, err := core.ScheduleCtx(ctx, exec, opt)
+	// Run on this worker's pooled scratch: buffers are reused across
+	// every submission the worker executes (race-free; see the scratch
+	// field). The scratch owns the produced schedule, so clone it
+	// before the result escapes into the cache or to callers.
+	worker := s.pool.ShardOf(key)
+	sc := s.scratch[worker]
+	if sc == nil {
+		sc = core.NewScratch()
+		s.scratch[worker] = sc
+	}
+	sched, rep, err := core.ScheduleScratchCtx(ctx, exec, opt, sc)
 	if looseStats != nil {
 		h, m := looseStats()
 		s.looseHits.Add(h)
 		s.looseMisses.Add(m)
 	}
-	r := Result{Schedule: sched, Report: rep, Err: err}
+	// Like core.ScheduleCtx, the report is attached unconditionally:
+	// zero-valued for precondition failures, populated as far as the
+	// call got otherwise. Success is signalled by Err alone.
+	repp := new(core.Report)
+	*repp = rep
+	if sched != nil {
+		sched = sched.Clone()
+	}
+	r := Result{Schedule: sched, Report: repp, Err: err}
 	if err == nil && canon && !s.cfg.NoResultCache {
 		s.results.put(rkey, r)
 	}

@@ -9,6 +9,7 @@
 package shelves
 
 import (
+	"repro/internal/arena"
 	"repro/internal/gamma"
 	"repro/internal/moldable"
 )
@@ -34,14 +35,26 @@ type Partition struct {
 // γ_j(τ) undefined (t_j(m) > τ), in which case τ must be rejected: no
 // schedule with makespan τ exists.
 func Compute(in *moldable.Instance, tau moldable.Time) (*Partition, bool) {
+	p := &Partition{}
+	ok := ComputeInto(p, in, tau)
+	return p, ok
+}
+
+// ComputeInto rebuilds the partition in place, reusing p's buffers so
+// a warm Partition recomputes without allocating (the scratch-reuse
+// discipline of internal/arena). It returns Compute's ok.
+func ComputeInto(p *Partition, in *moldable.Instance, tau moldable.Time) bool {
 	n := in.N()
-	p := &Partition{
-		Tau:  tau,
-		G1:   make([]int, n),
-		G1OK: make([]bool, n),
-		G2:   make([]int, n),
-		G2OK: make([]bool, n),
-	}
+	p.Tau = tau
+	p.Small = p.Small[:0]
+	p.Big = p.Big[:0]
+	p.Mand = p.Mand[:0]
+	p.Opt = p.Opt[:0]
+	p.G1 = arena.Zeroed(p.G1, n)
+	p.G1OK = arena.Zeroed(p.G1OK, n)
+	p.G2 = arena.Zeroed(p.G2, n)
+	p.G2OK = arena.Zeroed(p.G2OK, n)
+	p.WSmall = 0
 	for j, job := range in.Jobs {
 		if t1 := job.Time(1); t1 <= tau/2 {
 			p.Small = append(p.Small, j)
@@ -51,7 +64,7 @@ func Compute(in *moldable.Instance, tau moldable.Time) (*Partition, bool) {
 		p.Big = append(p.Big, j)
 		g1, ok1 := gamma.Gamma(job, in.M, tau)
 		if !ok1 {
-			return p, false
+			return false
 		}
 		p.G1[j], p.G1OK[j] = g1, true
 		g2, ok2 := gamma.Gamma(job, in.M, tau/2)
@@ -62,7 +75,7 @@ func Compute(in *moldable.Instance, tau moldable.Time) (*Partition, bool) {
 			p.Mand = append(p.Mand, j)
 		}
 	}
-	return p, true
+	return true
 }
 
 // Profit returns v_j(τ) = w_j(γ_j(τ/2)) − w_j(γ_j(τ)) for an optional

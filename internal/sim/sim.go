@@ -1,9 +1,12 @@
 // Package sim is a discrete-event execution simulator for moldable-job
-// schedules. Where schedule.Validate checks a schedule analytically,
-// sim executes it operationally on m simulated processors: jobs acquire
-// and release processor capacity at event times, infeasibility
-// manifests as a failed acquisition, and machine-level metrics
-// (utilization, idle time, per-job waits) fall out of the event trace.
+// schedules (DESIGN.md §1; no direct counterpart in the paper — the
+// operational complement to the analytical checks). Where
+// schedule.Validate verifies the feasibility invariants of Jansen &
+// Land's constructions (Lemmas 7–9) symbolically, sim executes a
+// schedule on m simulated processors: jobs acquire and release
+// processor capacity at event times, infeasibility manifests as a
+// failed acquisition, and machine-level metrics (utilization, idle
+// time, per-job waits) fall out of the event trace.
 //
 // The simulator also supports perturbed execution times (Noise), with
 // two dispatch models:

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# doclint: assert every internal/* package (and cmd/* program) carries a
+# package-level godoc comment, so the documentation audit of ISSUE 3
+# cannot rot. CI runs this next to `go vet`.
+#
+# A package comment is a line starting with "// Package <name>" (or
+# "// Command <name>" for main packages) in some .go file of the
+# directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -ls "^// Package $pkg" "$dir"*.go >/dev/null 2>&1; then
+        echo "doclint: internal package '$pkg' has no '// Package $pkg' comment" >&2
+        fail=1
+    fi
+done
+
+for dir in cmd/*/; do
+    prog=$(basename "$dir")
+    if ! grep -ls "^// Command $prog" "$dir"*.go >/dev/null 2>&1; then
+        echo "doclint: command '$prog' has no '// Command $prog' comment" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doclint: FAILED — add the missing package comments (see docs style in internal/compress)" >&2
+    exit 1
+fi
+echo "doclint: all internal packages and commands documented"
