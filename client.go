@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lt"
 	"repro/internal/moldable"
+	"repro/internal/online"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
 	"repro/internal/service"
@@ -42,11 +43,40 @@ type Result = service.Result
 // satisfies ω ≤ OPT ≤ 2ω.
 type EstimateResult = lt.Result
 
+// Online-arrivals types, re-exported from internal/online so RunOnline
+// callers need only this package (plus internal/moldable for jobs).
+type (
+	// Arrival is one timestamped job arrival; see online.Arrival.
+	Arrival = online.Arrival
+	// OnlineEvent is one online-runtime transition; see online.Event.
+	OnlineEvent = online.Event
+	// OnlineMetrics summarizes a replayed stream; see online.Metrics.
+	OnlineMetrics = online.Metrics
+	// OnlinePolicy selects the replanning strategy; see online.Policy.
+	OnlinePolicy = online.Policy
+)
+
+// Online policies (see online.Policy) and event kinds (online.EventKind).
+const (
+	ReplanOnEpoch   = online.ReplanOnEpoch
+	ReplanOnArrival = online.ReplanOnArrival
+	GreedyRigid     = online.Greedy
+
+	EvArrive = online.EvArrive
+	EvReplan = online.EvReplan
+	EvStart  = online.EvStart
+	EvFinish = online.EvFinish
+	EvError  = online.EvError
+)
+
 // config collects client-level and per-call settings; Options mutate it.
 type config struct {
 	svc    service.Config
 	opt    core.Options
 	probes int
+	// online holds the RunOnline settings (machine size, policy, epoch
+	// rule); the planner algorithm and ε are taken from opt.
+	online online.Config
 }
 
 // Option configures New (all options) or a single call (the per-call
@@ -118,6 +148,31 @@ func WithProbeBudget(n int) Option {
 	return func(c *config) { c.probes = n }
 }
 
+// WithMachines sets the machine size m for RunOnline. An arrival
+// stream, unlike an instance, carries no machine — RunOnline errors
+// without this option. Valid at construction and per call.
+func WithMachines(m int) Option {
+	return func(c *config) { c.online.M = m }
+}
+
+// WithPolicy selects the online replanning policy (default
+// ReplanOnEpoch; see the online policy constants). Valid at
+// construction and per call.
+func WithPolicy(p OnlinePolicy) Option {
+	return func(c *config) { c.online.Policy = p }
+}
+
+// WithEpochRule configures ReplanOnEpoch's doubling rule: epoch k may
+// not close before min·grow^k after it opened (min 0 replans as soon
+// as the machine drains; grow defaults to 2 and must be ≥ 1). Valid at
+// construction and per call.
+func WithEpochRule(min moldable.Time, grow float64) Option {
+	return func(c *config) {
+		c.online.EpochMin = min
+		c.online.EpochGrow = grow
+	}
+}
+
 // Client is the context-first entry point of the library: a handle over
 // the serving stack (sharded worker pool, bounded result cache, oracle
 // memoization — see DESIGN.md §5) with cancellation threaded through
@@ -132,6 +187,7 @@ func WithProbeBudget(n int) Option {
 type Client struct {
 	svc    *service.Scheduler
 	def    core.Options
+	onl    online.Config
 	probes int
 	// streams tracks in-flight ScheduleStream submitter goroutines so
 	// Close never races a Submit onto the already-closed pool (e.g.
@@ -146,7 +202,7 @@ func New(opts ...Option) *Client {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Client{svc: service.New(cfg.svc), def: cfg.opt, probes: cfg.probes}
+	return &Client{svc: service.New(cfg.svc), def: cfg.opt, onl: cfg.online, probes: cfg.probes}
 }
 
 // Close drains in-flight work and stops the workers. Methods must not
@@ -158,11 +214,16 @@ func (c *Client) Close() {
 
 // call merges the client defaults with per-call options.
 func (c *Client) call(opts []Option) (core.Options, int) {
-	cfg := config{opt: c.def, probes: c.probes}
+	cfg := c.mergecall(opts)
+	return cfg.opt, cfg.probes
+}
+
+func (c *Client) mergecall(opts []Option) config {
+	cfg := config{opt: c.def, online: c.onl, probes: c.probes}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return cfg.opt, cfg.probes
+	return cfg
 }
 
 // Schedule solves one instance under ctx: cancellation and deadlines
@@ -237,6 +298,85 @@ func (c *Client) ScheduleStream(ctx context.Context, ins []*moldable.Instance, o
 			}
 		}
 	}
+}
+
+// RunOnline replays a stream of timestamped job arrivals through the
+// event-driven online runtime (internal/online; DESIGN.md §7): arrivals
+// are accumulated into epochs, each epoch's pending set is replanned
+// with the same scratch-pooled oracle the batch path uses, and jobs are
+// dispatched work-conservingly onto an m-processor machine. The machine
+// size is required (WithMachines); WithPolicy selects the strategy
+// (ReplanOnEpoch by default, ReplanOnArrival, or the rigid GreedyRigid
+// baseline), WithEpochRule its batch-accumulation doubling rule, and
+// WithAlgorithm/WithEps the per-epoch planner. A pinned algorithm
+// outside its proven regime for some epoch falls back (MRT, then LT2)
+// rather than failing — the substitution is flagged on that replan
+// event.
+//
+// The returned sequence yields (event index, event) pairs in
+// non-decreasing event-time order: the arrivals are consumed lazily as
+// the consumer ranges, and after the stream ends the runtime drains
+// (every admitted job planned and run to completion). Configuration
+// problems (missing machine size, bad ε) surface on the error return
+// before any arrival is consumed. Mid-stream failures — a canceled
+// ctx, out-of-order arrival timestamps, a planner error — terminate
+// the sequence with one final event of kind EvError carrying the cause
+// (matching ErrCanceled when ctx ended first). Ranging the sequence
+// multiple times is not supported; breaking out early releases the
+// arrival source without leaking goroutines.
+func (c *Client) RunOnline(ctx context.Context, arrivals iter.Seq[Arrival], opts ...Option) (iter.Seq2[int, OnlineEvent], error) {
+	cfg := c.mergecall(opts)
+	ocfg := cfg.online
+	ocfg.Algorithm = cfg.opt.Algorithm
+	ocfg.Eps = cfg.opt.Eps
+	rt, err := online.New(ocfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(int, OnlineEvent) bool) {
+		seq := 0
+		last := moldable.Time(0)
+		emit := func(evs []OnlineEvent) bool {
+			for _, e := range evs {
+				if !yield(seq, e) {
+					return false
+				}
+				seq++
+				last = e.T
+			}
+			return true
+		}
+		fail := func(err error) {
+			yield(seq, OnlineEvent{T: last, Kind: online.EvError, Job: -1, Err: err})
+		}
+		next, stop := iter.Pull(arrivals)
+		defer stop()
+		for {
+			if err := ctx.Err(); err != nil {
+				fail(scherr.Canceled(err))
+				return
+			}
+			a, ok := next()
+			if !ok {
+				break
+			}
+			evs, err := rt.Arrive(ctx, a)
+			if !emit(evs) {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+		evs, err := rt.Drain(ctx)
+		if !emit(evs) {
+			return
+		}
+		if err != nil {
+			fail(err)
+		}
+	}, nil
 }
 
 // Estimate computes the Ludwig–Tiwari estimate ω with ω ≤ OPT ≤ 2ω in

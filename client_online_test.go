@@ -1,0 +1,204 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/moldable"
+	"repro/internal/online"
+)
+
+func onlineTrace(t testing.TB, n int, seed uint64) []online.Arrival {
+	t.Helper()
+	trace, err := online.Generate(online.TraceConfig{
+		N: n, Seed: seed, Process: online.Poisson, Rate: 4,
+		Jobs: moldable.GenConfig{MinWork: 1, MaxWork: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func sliceSeq(trace []online.Arrival) iter.Seq[online.Arrival] {
+	return func(yield func(online.Arrival) bool) {
+		for _, a := range trace {
+			if !yield(a) {
+				return
+			}
+		}
+	}
+}
+
+// TestRunOnlineRoundTrip: a full stream through the client — every
+// arrival admitted, every job finished, event indices contiguous.
+func TestRunOnlineRoundTrip(t *testing.T) {
+	c := repro.New(repro.WithEps(0.25), repro.WithMachines(32))
+	defer c.Close()
+	trace := onlineTrace(t, 80, 21)
+	events, err := c.RunOnline(context.Background(), sliceSeq(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx, finishes := 0, 0
+	for i, e := range events {
+		if i != wantIdx {
+			t.Fatalf("event index %d, want %d", i, wantIdx)
+		}
+		wantIdx++
+		if e.Kind == repro.EvError {
+			t.Fatalf("unexpected error event: %v", e.Err)
+		}
+		if e.Kind == repro.EvFinish {
+			finishes++
+		}
+	}
+	if finishes != len(trace) {
+		t.Fatalf("finished %d of %d jobs", finishes, len(trace))
+	}
+}
+
+// TestRunOnlineConfigErrors: configuration problems surface on the
+// error return, before any arrival is consumed.
+func TestRunOnlineConfigErrors(t *testing.T) {
+	c := repro.New()
+	defer c.Close()
+	consumed := false
+	poisoned := func(yield func(online.Arrival) bool) { consumed = true }
+	if _, err := c.RunOnline(context.Background(), poisoned); err == nil {
+		t.Error("missing WithMachines accepted")
+	}
+	if _, err := c.RunOnline(context.Background(), poisoned, repro.WithMachines(8), repro.WithEps(3)); !errors.Is(err, repro.ErrBadEps) {
+		t.Errorf("eps=3 error %v, want ErrBadEps", err)
+	}
+	if consumed {
+		t.Error("arrival source consumed despite config error")
+	}
+}
+
+// TestRunOnlineCancelMidStream is the ISSUE 4 cancellation criterion,
+// mirroring scratch_stream_test.go's pattern: a mid-stream ctx cancel
+// must terminate the event stream promptly with a final EvError
+// matching ErrCanceled, drain the runtime machinery, and leak no
+// goroutines (iter.Pull's coroutine included) — run under -race in CI.
+func TestRunOnlineCancelMidStream(t *testing.T) {
+	before := runtime.NumGoroutine()
+	trace := onlineTrace(t, 200, 5)
+	c := repro.New(repro.WithEps(0.25), repro.WithMachines(64), repro.WithPolicy(repro.ReplanOnArrival))
+	ctx, cancel := context.WithCancel(context.Background())
+	events, err := c.RunOnline(ctx, sliceSeq(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	arrivals := 0
+	for _, e := range events {
+		if e.Kind == repro.EvArrive {
+			arrivals++
+			if arrivals == 50 {
+				cancel()
+			}
+		}
+		if e.Kind == repro.EvError {
+			sawError = true
+			if !errors.Is(e.Err, repro.ErrCanceled) || !errors.Is(e.Err, context.Canceled) {
+				t.Fatalf("terminal event error %v, want ErrCanceled/context.Canceled", e.Err)
+			}
+		} else if sawError {
+			t.Fatal("events after the terminal EvError")
+		}
+	}
+	if !sawError {
+		t.Fatal("canceled stream ended without an EvError event")
+	}
+	if arrivals >= len(trace) {
+		t.Fatal("cancellation did not stop arrival consumption")
+	}
+	c.Close()
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after canceled RunOnline", before, after)
+	}
+}
+
+// TestRunOnlineEarlyBreak: a consumer breaking out of the event loop
+// releases the arrival source (iter.Pull coroutine) without leaks.
+func TestRunOnlineEarlyBreak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	trace := onlineTrace(t, 120, 6)
+	c := repro.New(repro.WithEps(0.25), repro.WithMachines(32))
+	events, err := c.RunOnline(context.Background(), sliceSeq(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range events {
+		_ = e
+		if i == 25 {
+			break
+		}
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after early break", before, after)
+	}
+}
+
+// TestRunOnlineDeterministic: same trace + same options ⇒ identical
+// event sequence through the public API (the trace-level determinism
+// test lives in internal/online; this one covers the client plumbing).
+func TestRunOnlineDeterministic(t *testing.T) {
+	trace := onlineTrace(t, 100, 77)
+	collect := func() []repro.OnlineEvent {
+		c := repro.New(repro.WithEps(0.25), repro.WithMachines(48), repro.WithEpochRule(0.5, 2))
+		defer c.Close()
+		events, err := c.RunOnline(context.Background(), sliceSeq(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []repro.OnlineEvent
+		for _, e := range events {
+			out = append(out, e)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical RunOnline replays diverged")
+	}
+}
+
+// TestRunOnlineRejectsBadStream: an out-of-order arrival mid-stream
+// terminates with EvError rather than a panic or silent truncation.
+func TestRunOnlineRejectsBadStream(t *testing.T) {
+	c := repro.New(repro.WithMachines(8))
+	defer c.Close()
+	bad := []online.Arrival{
+		{T: 2, Job: moldable.Sequential{T: 1}},
+		{T: 1, Job: moldable.Sequential{T: 1}},
+	}
+	events, err := c.RunOnline(context.Background(), sliceSeq(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := repro.OnlineEvent{}
+	for _, e := range events {
+		last = e
+	}
+	if last.Kind != repro.EvError || last.Err == nil {
+		t.Fatalf("stream ended with %v, want EvError", last.Kind)
+	}
+}

@@ -4,6 +4,16 @@
 //
 //	geninstance -n 50 -m 1024 -seed 7 > instance.json
 //	geninstance -planted -m 64 -d 100 -n 30 > planted.json   # OPT = d
+//
+// With -arrivals it emits a JSON-lines arrival trace for the online
+// runtime (internal/online; one {"t":...,"job":{...}} object per line)
+// instead of an instance:
+//
+//	geninstance -arrivals poisson -rate 4 -n 4096 > trace.jsonl
+//	geninstance -arrivals bursty -rate 4 -burst 8 -horizon 500 -n 4096 > trace.jsonl
+//
+// The trace carries no machine size: m belongs to where the trace is
+// replayed (Client.RunOnline's WithMachines, moldschedd's open_online).
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/moldable"
+	"repro/internal/online"
 )
 
 func main() {
@@ -28,10 +39,47 @@ func main() {
 		comm    = flag.Float64("comm", 0, "mix weight: communication-overhead jobs")
 		seq     = flag.Float64("seq", 0, "mix weight: sequential jobs")
 		perfect = flag.Float64("perfect", 0, "mix weight: perfect-speedup jobs")
+
+		arrivals = flag.String("arrivals", "", "emit an arrival trace instead of an instance: poisson|bursty")
+		rate     = flag.Float64("rate", 1, "arrival-trace mean rate λ (arrivals per time unit)")
+		horizon  = flag.Float64("horizon", 0, "arrival-trace horizon T (0: exactly n arrivals)")
+		burst    = flag.Float64("burst", 8, "bursty trace: on/off rate ratio")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("geninstance: ")
+
+	mix := moldable.GenConfig{
+		Amdahl: *amdahl, Power: *power, Comm: *comm, Sequential: *seq, Perfect: *perfect,
+	}
+	if *preset != "" {
+		cfg, err := moldable.Preset(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = cfg
+	}
+
+	if *arrivals != "" {
+		process, err := online.ParseProcess(*arrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err := online.Generate(online.TraceConfig{
+			N: *n, Seed: *seed, Process: process,
+			Rate: *rate, Horizon: *horizon, Burst: *burst,
+			Jobs: mix,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := online.WriteTrace(os.Stdout, trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s trace: %d arrivals over [0, %.4g]\n",
+			process, len(trace), trace[len(trace)-1].T)
+		return
+	}
 
 	var in *moldable.Instance
 	switch {
@@ -40,18 +88,14 @@ func main() {
 		in = pl.Instance
 		fmt.Fprintf(os.Stderr, "planted optimum: %g (%d jobs)\n", pl.OPT, in.N())
 	case *preset != "":
-		cfg, err := moldable.Preset(*preset)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cfg := mix
 		cfg.N, cfg.M, cfg.Seed = *n, *m, *seed
 		in = moldable.Random(cfg)
 		fmt.Fprintf(os.Stderr, "%s\n", moldable.Summarize(in))
 	default:
-		in = moldable.Random(moldable.GenConfig{
-			N: *n, M: *m, Seed: *seed,
-			Amdahl: *amdahl, Power: *power, Comm: *comm, Sequential: *seq, Perfect: *perfect,
-		})
+		cfg := mix
+		cfg.N, cfg.M, cfg.Seed = *n, *m, *seed
+		in = moldable.Random(cfg)
 	}
 	if err := moldable.WriteInstance(os.Stdout, in); err != nil {
 		log.Fatal(err)

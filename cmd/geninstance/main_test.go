@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/online"
+)
+
+// TestArrivalTraceRoundTrip builds the binary and round-trips its
+// -arrivals output through the trace parser in internal/online — the
+// flag-plumbing complement of the package-level round-trip tests.
+func TestArrivalTraceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary round-trip is not -short material")
+	}
+	bin := filepath.Join(t.TempDir(), "geninstance")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	for _, process := range []string{"poisson", "bursty"} {
+		cmd := exec.Command(bin, "-arrivals", process, "-rate", "4", "-n", "100", "-seed", "9")
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s: %v", process, err)
+		}
+		trace, err := online.ReadTrace(&stdout)
+		if err != nil {
+			t.Fatalf("%s: parsing emitted trace: %v", process, err)
+		}
+		if len(trace) != 100 {
+			t.Fatalf("%s: %d arrivals, want 100", process, len(trace))
+		}
+		// Equal to the in-process generator with the same parameters:
+		// the binary adds flags, not semantics.
+		want, err := online.Generate(online.TraceConfig{N: 100, Seed: 9, Rate: 4,
+			Process: map[string]online.Process{"poisson": online.Poisson, "bursty": online.Bursty}[process]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if trace[i].T != want[i].T {
+				t.Fatalf("%s: arrival %d at %g, generator says %g", process, i, trace[i].T, want[i].T)
+			}
+		}
+	}
+	// -horizon truncates.
+	cmd := exec.Command(bin, "-arrivals", "poisson", "-rate", "4", "-n", "1000", "-horizon", "10")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := online.ReadTrace(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) >= 1000 || trace[len(trace)-1].T > 10 {
+		t.Fatalf("horizon ignored: %d arrivals, last at %g", len(trace), trace[len(trace)-1].T)
+	}
+}

@@ -34,19 +34,38 @@
 // and result replies by id. result consumes the ticket. shutdown
 // drains in-flight work and exits.
 //
+// Online sessions (the event-driven arrivals runtime of
+// internal/online; DESIGN.md §7) have four further ops:
+//
+//	{"op":"open_online","tag":"s1","m":64,"policy":"epoch","algo":"auto","eps":0.1}
+//	{"op":"arrive","id":2,"t":0.5,"job":{"type":"amdahl","seq":2,"par":98}}
+//	{"op":"trace","id":2}
+//	{"op":"drain","id":2}
+//
+// open_online creates a session owning one runtime and returns its
+// ticket; arrive admits one timestamped job (timestamps non-decreasing
+// per session) and returns the machine events it caused; trace returns
+// the session's full event log so far; drain runs the session to
+// completion, returns the remaining events plus realized metrics, and
+// releases the ticket. Unlike submit/result, the session ops are
+// handled on the read loop in request order — a session is stateful
+// and its arrivals are meaningful only in sequence.
+//
 // Error responses carry a stable "code" alongside the human-readable
 // "error" text, from the typed taxonomy of internal/scherr:
 // "not_monotone", "regime", "canceled", "bad_eps", "internal", plus
 // the protocol-level "bad_request" and "unknown_ticket". Clients
 // should branch on the code, never the text.
 //
-// See DESIGN.md §5 for the daemon's place in the serving architecture.
+// See DESIGN.md §5 for the daemon's place in the serving architecture
+// and docs/PROTOCOL.md for the full wire specification.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -57,6 +76,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/online"
 	"repro/internal/scherr"
 	"repro/internal/service"
 )
@@ -78,6 +98,14 @@ type request struct {
 	Validate  bool            `json:"validate,omitempty"`
 	TimeoutMS float64         `json:"timeout_ms,omitempty"`
 	Instance  json.RawMessage `json:"instance,omitempty"`
+
+	// Online-session fields (open_online / arrive).
+	M         int             `json:"m,omitempty"`
+	Policy    string          `json:"policy,omitempty"`
+	EpochMin  float64         `json:"epoch_min,omitempty"`
+	EpochGrow float64         `json:"epoch_grow,omitempty"`
+	T         float64         `json:"t,omitempty"`
+	Job       json.RawMessage `json:"job,omitempty"`
 }
 
 // response is the union of all response shapes.
@@ -101,6 +129,40 @@ type response struct {
 
 	// stats payload
 	Stats *service.Stats `json:"stats,omitempty"`
+
+	// online-session payloads
+	Events    []wireEvent `json:"events,omitempty"`
+	MeanWait  float64     `json:"mean_wait,omitempty"`
+	MeanFlow  float64     `json:"mean_flow,omitempty"`
+	MaxFlow   float64     `json:"max_flow,omitempty"`
+	Util      float64     `json:"utilization,omitempty"`
+	Replans   int         `json:"replans,omitempty"`
+	Fallbacks int         `json:"fallbacks,omitempty"`
+	Finished  int         `json:"finished,omitempty"`
+}
+
+// wireEvent is the JSON shape of one online.Event. Job is -1 on events
+// that concern no single job (replan).
+type wireEvent struct {
+	T        float64 `json:"t"`
+	Kind     string  `json:"kind"`
+	Job      int     `json:"job"`
+	Procs    int     `json:"procs,omitempty"`
+	Free     int     `json:"free"`
+	Pending  int     `json:"pending,omitempty"`
+	Algo     string  `json:"algo,omitempty"`
+	Fallback bool    `json:"fallback,omitempty"`
+}
+
+func wireEvents(evs []online.Event) []wireEvent {
+	out := make([]wireEvent, len(evs))
+	for i, e := range evs {
+		out[i] = wireEvent{
+			T: e.T, Kind: e.Kind.String(), Job: e.Job, Procs: e.Procs,
+			Free: e.Free, Pending: e.Pending, Algo: e.Algo, Fallback: e.Fallback,
+		}
+	}
+	return out
 }
 
 // writer serializes concurrent response emission onto stdout.
@@ -186,6 +248,19 @@ func main() {
 				res, done, known := svc.Poll(req.ID)
 				sendResult(out, req.ID, res, known, done)
 			}
+		case "open_online":
+			handleOpenOnline(svc, out, req)
+		case "arrive":
+			handleArrive(svc, out, req, *probes)
+		case "trace":
+			evs, err := svc.OnlineTrace(req.ID)
+			if err != nil {
+				out.send(response{Op: "trace", ID: req.ID, Code: codeUnknownTicket, Error: err.Error()})
+				continue
+			}
+			out.send(response{Op: "trace", ID: req.ID, Events: wireEvents(evs)})
+		case "drain":
+			handleDrain(svc, out, req)
 		case "stats":
 			st := svc.Stats()
 			out.send(response{Op: "stats", Tag: req.Tag, Stats: &st})
@@ -260,6 +335,94 @@ func handleSubmit(svc *service.Scheduler, out *writer, req request, probes int) 
 		}
 	}
 	out.send(response{Op: "submit", Tag: req.Tag, ID: id})
+}
+
+// handleOpenOnline creates an online session. Runs on the read loop:
+// session ops are order-dependent (see the package comment).
+func handleOpenOnline(svc *service.Scheduler, out *writer, req request) {
+	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
+	if err != nil {
+		out.send(response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		return
+	}
+	policy, err := online.ParsePolicy(orDefault(req.Policy, "epoch"))
+	if err != nil {
+		out.send(response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		return
+	}
+	id, err := svc.OpenOnline(online.Config{
+		M: req.M, Policy: policy, Algorithm: algo, Eps: req.Eps,
+		EpochMin: req.EpochMin, EpochGrow: req.EpochGrow,
+	})
+	if err != nil {
+		code := scherr.Code(err)
+		if code == scherr.CodeInternal {
+			code = codeBadRequest // config problems are client input, not server faults
+		}
+		out.send(response{Op: "open_online", Tag: req.Tag, Code: code, Error: err.Error()})
+		return
+	}
+	out.send(response{Op: "open_online", Tag: req.Tag, ID: id})
+}
+
+// handleArrive admits one arrival into a session.
+func handleArrive(svc *service.Scheduler, out *writer, req request, probes int) {
+	if len(req.Job) == 0 {
+		out.send(response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: "arrive needs a job"})
+		return
+	}
+	job, err := moldable.UnmarshalJob(req.Job)
+	if err != nil {
+		out.send(response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: fmt.Sprintf("bad job: %v", err)})
+		return
+	}
+	// Same admission checks as submit: a non-monotone job must be
+	// rejected at the door, not poison the session's planner later.
+	// Probe over the session's machine size.
+	m, err := svc.OnlineMachine(req.ID)
+	if err != nil {
+		out.send(response{Op: "arrive", ID: req.ID, Code: codeUnknownTicket, Error: err.Error()})
+		return
+	}
+	if err := moldable.CheckMonotone(job, m, probes); err != nil {
+		out.send(response{Op: "arrive", ID: req.ID, Code: scherr.Code(err), Error: fmt.Sprintf("invalid job: %v", err)})
+		return
+	}
+	evs, err := svc.OnlineArrive(context.Background(), req.ID, online.Arrival{T: req.T, Job: job})
+	if err != nil {
+		out.send(response{Op: "arrive", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		return
+	}
+	out.send(response{Op: "arrive", ID: req.ID, Events: wireEvents(evs)})
+}
+
+// handleDrain runs a session to completion and reports its metrics.
+func handleDrain(svc *service.Scheduler, out *writer, req request) {
+	evs, met, err := svc.OnlineDrain(context.Background(), req.ID)
+	if err != nil {
+		out.send(response{Op: "drain", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		return
+	}
+	out.send(response{
+		Op: "drain", ID: req.ID, Events: wireEvents(evs),
+		Makespan: met.Makespan, MeanWait: met.MeanWait, MeanFlow: met.MeanFlow,
+		MaxFlow: met.MaxFlow, Util: met.Utilization,
+		Replans: met.Replans, Fallbacks: met.Fallbacks, Finished: met.Finished,
+	})
+}
+
+// onlineCode maps a session-op error to a wire code: unknown sessions
+// get the ticket code, runtime stream violations (out-of-order
+// arrivals, arrival-after-drain) are client input, and the typed
+// taxonomy passes through.
+func onlineCode(err error) string {
+	if errors.Is(err, service.ErrUnknownSession) {
+		return codeUnknownTicket
+	}
+	if code := scherr.Code(err); code != scherr.CodeInternal {
+		return code
+	}
+	return codeBadRequest
 }
 
 func sendResult(out *writer, id uint64, res service.Result, known, done bool) {

@@ -151,6 +151,28 @@ func decodeJob(jj jobJSON) (Job, error) {
 	return j, nil
 }
 
+// MarshalJob encodes a single job in the same wire schema that
+// instances embed (the "jobs" array element). It exists for formats
+// that carry jobs outside an instance — the arrival-trace lines of
+// internal/online are (timestamp, job) pairs, one JSON object per line.
+func MarshalJob(j Job) ([]byte, error) {
+	jj, err := encodeJob(j)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jj)
+}
+
+// UnmarshalJob decodes a single job encoded by MarshalJob (or a "jobs"
+// array element of the instance schema).
+func UnmarshalJob(data []byte) (Job, error) {
+	var jj jobJSON
+	if err := json.Unmarshal(data, &jj); err != nil {
+		return nil, err
+	}
+	return decodeJob(jj)
+}
+
 // WriteInstance writes the JSON encoding of in to w.
 func WriteInstance(w io.Writer, in *Instance) error {
 	data, err := MarshalInstance(in)

@@ -1,0 +1,139 @@
+package online
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/moldable"
+)
+
+// Synthetic arrival-process generators, deterministic for a fixed seed
+// (PCG, like every generator in internal/moldable). Jobs are drawn from
+// the moldable.Random workload mix; arrival times from one of two
+// processes:
+//
+//   - Poisson: exponential inter-arrival gaps at constant rate λ — the
+//     memoryless baseline of queueing workloads.
+//   - Bursty: a two-state Markov-modulated Poisson process (MMPP-2):
+//     the rate alternates between λ·Burst (on) and λ/Burst (off) with
+//     exponentially distributed sojourns, producing the flash-crowd /
+//     lull structure real traffic has and Poisson lacks.
+
+// Process selects the arrival process.
+type Process int
+
+// Arrival processes.
+const (
+	Poisson Process = iota
+	Bursty
+)
+
+// String names the process.
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("process(%d)", int(p))
+}
+
+// ParseProcess converts a name ("poisson", "bursty") to a Process,
+// case-insensitively.
+func ParseProcess(s string) (Process, error) {
+	for _, p := range []Process{Poisson, Bursty} {
+		if strings.EqualFold(p.String(), s) {
+			return p, nil
+		}
+	}
+	return Poisson, fmt.Errorf("online: unknown arrival process %q (valid: poisson, bursty)", s)
+}
+
+// TraceConfig controls Generate.
+type TraceConfig struct {
+	N       int     // number of arrivals (upper bound when Horizon > 0)
+	Seed    uint64  // PRNG seed (both arrival times and job bodies)
+	Process Process // Poisson (default) or Bursty
+	// Rate is the mean arrival rate λ in arrivals per time unit; > 0
+	// required.
+	Rate float64
+	// Horizon, when > 0, truncates the trace at the first arrival past
+	// it (the trace may then have fewer than N arrivals).
+	Horizon moldable.Time
+	// Burst is the bursty process's rate ratio: λ·Burst in the on
+	// state, λ/Burst in the off state (default 8; ignored by Poisson).
+	Burst float64
+	// Sojourn is the bursty process's mean state-sojourn time (default
+	// 8/Rate — a burst covers roughly eight mean-rate arrivals).
+	Sojourn moldable.Time
+	// Jobs is the workload mix for job bodies (moldable.Random); its N
+	// and Seed fields are overridden by this config's.
+	Jobs moldable.GenConfig
+}
+
+// Generate builds an arrival trace: N jobs from the moldable.Random mix
+// paired with timestamps from the configured process.
+func Generate(cfg TraceConfig) ([]Arrival, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("online: trace needs n ≥ 1 arrivals, got %d", cfg.N)
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("online: arrival rate %g must be > 0", cfg.Rate)
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 8
+	}
+	if cfg.Burst < 1 {
+		return nil, fmt.Errorf("online: burst ratio %g must be ≥ 1", cfg.Burst)
+	}
+	if cfg.Sojourn == 0 {
+		cfg.Sojourn = 8 / cfg.Rate
+	}
+	jcfg := cfg.Jobs
+	jcfg.N = cfg.N
+	jcfg.Seed = cfg.Seed
+	jobs := moldable.Random(jcfg).Jobs
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xda3e39cb94b95bdb))
+	trace := make([]Arrival, 0, cfg.N)
+	t := moldable.Time(0)
+	// Bursty state: alternate on/off with exponential sojourns; gaps are
+	// drawn at the current state's rate, and a gap crossing the state
+	// boundary is redrawn from the boundary (memorylessness makes the
+	// truncation exact for the exponential).
+	on := true
+	stateEnd := t + moldable.Time(rng.ExpFloat64())*cfg.Sojourn
+	for i := 0; i < cfg.N; i++ {
+		switch cfg.Process {
+		case Poisson:
+			t += moldable.Time(rng.ExpFloat64() / cfg.Rate)
+		case Bursty:
+			for {
+				rate := cfg.Rate * cfg.Burst
+				if !on {
+					rate = cfg.Rate / cfg.Burst
+				}
+				next := t + moldable.Time(rng.ExpFloat64()/rate)
+				if next <= stateEnd {
+					t = next
+					break
+				}
+				t = stateEnd
+				on = !on
+				stateEnd = t + moldable.Time(rng.ExpFloat64())*cfg.Sojourn
+			}
+		default:
+			return nil, fmt.Errorf("online: unknown arrival process %d", int(cfg.Process))
+		}
+		if cfg.Horizon > 0 && t > cfg.Horizon {
+			break
+		}
+		trace = append(trace, Arrival{T: t, Job: jobs[i]})
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("online: horizon %g admits no arrivals at rate %g", cfg.Horizon, cfg.Rate)
+	}
+	return trace, nil
+}

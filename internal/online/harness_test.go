@@ -1,0 +1,88 @@
+package online
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/moldable"
+)
+
+// referenceTrace builds the heavy-traffic reference workloads of the
+// competitive acceptance criterion: arrivals fast enough that the last
+// release time is well below the clairvoyant makespan (W/m alone
+// dominates the arrival horizon), which is the regime where batch
+// accumulation's r_max + 2·(3/2+ε)·OPT bound lands under 4×OPT.
+func referenceTrace(t testing.TB, process Process) []Arrival {
+	t.Helper()
+	trace, err := Generate(TraceConfig{
+		N: 400, Seed: 1234, Process: process, Rate: 4,
+		Jobs: moldable.GenConfig{MinWork: 1, MaxWork: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestCompetitiveEpochPolicy is the acceptance criterion of ISSUE 4:
+// on the Poisson and bursty reference traces, ReplanOnEpoch's realized
+// makespan stays within 4× the clairvoyant offline makespan.
+func TestCompetitiveEpochPolicy(t *testing.T) {
+	ctx := context.Background()
+	for _, process := range []Process{Poisson, Bursty} {
+		t.Run(process.String(), func(t *testing.T) {
+			trace := referenceTrace(t, process)
+			out, err := Compare(ctx, Config{M: 64, Policy: ReplanOnEpoch, Eps: 0.25}, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The reference is an approximation, so the ratio may dip
+			// below 1 — but nothing beats the instance lower bound.
+			if out.Online.Makespan < out.Offline.LowerBound*(1-1e-9) {
+				t.Fatalf("online makespan %g below the instance lower bound %g",
+					out.Online.Makespan, out.Offline.LowerBound)
+			}
+			if out.MakespanRatio > 4 {
+				t.Fatalf("ReplanOnEpoch realized/clairvoyant = %g > 4 (online %g, offline %g)",
+					out.MakespanRatio, out.Online.Makespan, out.Offline.Makespan)
+			}
+			// Heavy-traffic sanity: the trace really is the regime the
+			// bound is stated for.
+			if out.Online.LastArrival > out.Offline.Makespan {
+				t.Fatalf("reference trace not heavy-traffic: last arrival %g > clairvoyant %g",
+					out.Online.LastArrival, out.Offline.Makespan)
+			}
+			if out.OfflineMeanFlow <= 0 || out.Online.MeanFlow <= 0 {
+				t.Fatalf("flow accounting: online %g, clairvoyant %g",
+					out.Online.MeanFlow, out.OfflineMeanFlow)
+			}
+			t.Logf("%s: ratio %.3f (online %.1f vs clairvoyant %.1f), mean flow %.1f vs %.1f, %d replans",
+				process, out.MakespanRatio, out.Online.Makespan, out.Offline.Makespan,
+				out.Online.MeanFlow, out.OfflineMeanFlow, out.Online.Replans)
+		})
+	}
+}
+
+// TestPolicyComparison exercises the harness across all three policies
+// on one trace: every policy within the (generous) 6× envelope, and the
+// moldable policies at least as good as — in practice clearly better
+// than — nothing; the interesting relation (moldable vs rigid baseline)
+// is logged for the experiment docs rather than asserted, since Greedy
+// can get lucky on easy mixes.
+func TestPolicyComparison(t *testing.T) {
+	ctx := context.Background()
+	trace := referenceTrace(t, Bursty)
+	ratios := map[Policy]float64{}
+	for _, pol := range Policies() {
+		out, err := Compare(ctx, Config{M: 64, Policy: pol, Eps: 0.25}, trace)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		ratios[pol] = out.MakespanRatio
+		if out.MakespanRatio > 6 {
+			t.Errorf("%v: ratio %g beyond any reasonable envelope", pol, out.MakespanRatio)
+		}
+	}
+	t.Logf("makespan ratios: epoch %.3f, arrival %.3f, greedy %.3f",
+		ratios[ReplanOnEpoch], ratios[ReplanOnArrival], ratios[Greedy])
+}

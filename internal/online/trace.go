@@ -1,0 +1,89 @@
+package online
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/moldable"
+)
+
+// Arrival-trace wire format: JSON lines, one arrival per line, ordered
+// by non-decreasing t. The job object uses the same schema as the
+// "jobs" array elements of the instance format (docs/PROTOCOL.md
+// §"Instance encoding"):
+//
+//	{"t":0.84,"job":{"type":"amdahl","seq":2,"par":98}}
+//	{"t":1.07,"job":{"type":"perfect","w":512}}
+//
+// cmd/geninstance -arrivals emits this format; ReadTrace parses it.
+// Note a trace carries no machine size — m is a property of where the
+// trace is replayed (Config.M / the open_online op), not of the trace.
+
+// arrivalJSON is the wire shape of one trace line.
+type arrivalJSON struct {
+	T   moldable.Time   `json:"t"`
+	Job json.RawMessage `json:"job"`
+}
+
+// WriteTrace writes the trace as JSON lines.
+func WriteTrace(w io.Writer, trace []Arrival) error {
+	bw := bufio.NewWriter(w)
+	for i, a := range trace {
+		jb, err := moldable.MarshalJob(a.Job)
+		if err != nil {
+			return fmt.Errorf("online: arrival %d: %w", i, err)
+		}
+		line, err := json.Marshal(arrivalJSON{T: a.T, Job: jb})
+		if err != nil {
+			return fmt.Errorf("online: arrival %d: %w", i, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines arrival trace. Blank lines are skipped;
+// out-of-order timestamps are rejected here rather than at replay time,
+// so a bad trace fails with a line number.
+func ReadTrace(r io.Reader) ([]Arrival, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26) // table-backed jobs can be long lines
+	var trace []Arrival
+	line := 0
+	last := moldable.Time(0)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var aj arrivalJSON
+		if err := json.Unmarshal(raw, &aj); err != nil {
+			return nil, fmt.Errorf("online: trace line %d: %w", line, err)
+		}
+		if len(aj.Job) == 0 {
+			return nil, fmt.Errorf("online: trace line %d: missing job", line)
+		}
+		j, err := moldable.UnmarshalJob(aj.Job)
+		if err != nil {
+			return nil, fmt.Errorf("online: trace line %d: %w", line, err)
+		}
+		if aj.T < 0 || aj.T < last {
+			return nil, fmt.Errorf("online: trace line %d: arrival time %g out of order (previous %g)",
+				line, aj.T, last)
+		}
+		last = aj.T
+		trace = append(trace, Arrival{T: aj.T, Job: j})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}

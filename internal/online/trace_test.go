@@ -1,0 +1,77 @@
+package online
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/moldable"
+)
+
+// TestTraceRoundTrip: WriteTrace → ReadTrace is the identity over every
+// serializable job family — the contract cmd/geninstance -arrivals
+// relies on (it writes with WriteTrace; consumers parse with ReadTrace).
+func TestTraceRoundTrip(t *testing.T) {
+	trace := []Arrival{
+		{T: 0, Job: moldable.Amdahl{Seq: 2, Par: 98}},
+		{T: 0.5, Job: moldable.Power{W: 100, Alpha: 0.7}},
+		{T: 0.5, Job: moldable.PerfectSpeedup{W: 512}},
+		{T: 1.25, Job: moldable.Sequential{T: 9}},
+		{T: 2, Job: moldable.Comm{W: 40, C: 0.3}},
+		{T: 3.75, Job: moldable.Table{T: []moldable.Time{8, 5, 4, 3.5}}},
+		{T: 7, Job: moldable.Capped{J: moldable.Amdahl{Seq: 1, Par: 9}, Max: 4}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", trace, got)
+	}
+}
+
+// TestGeneratedTraceRoundTrip round-trips a full generator output, the
+// exact path of `geninstance -arrivals poisson | (ReadTrace)`.
+func TestGeneratedTraceRoundTrip(t *testing.T) {
+	for _, process := range []Process{Poisson, Bursty} {
+		trace, err := Generate(TraceConfig{N: 300, Seed: 9, Process: process, Rate: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, trace); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(trace, got) {
+			t.Fatalf("%v: generated trace round trip diverged", process)
+		}
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"out of order": `{"t":2,"job":{"type":"perfect","w":1}}` + "\n" + `{"t":1,"job":{"type":"perfect","w":1}}`,
+		"negative":     `{"t":-1,"job":{"type":"perfect","w":1}}`,
+		"missing job":  `{"t":1}`,
+		"bad job":      `{"t":1,"job":{"type":"warp"}}`,
+		"not json":     `t=1 job=perfect`,
+	} {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Blank lines are tolerated (trailing newline artifacts).
+	got, err := ReadTrace(strings.NewReader("\n" + `{"t":1,"job":{"type":"perfect","w":1}}` + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank lines: got %d arrivals, err %v", len(got), err)
+	}
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/moldable"
+	"repro/internal/online"
+)
+
+// TestOnlineSessionLifecycle: open → arrive → trace → drain releases
+// the ticket; metrics and stats account for the session.
+func TestOnlineSessionLifecycle(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	id, err := s.OpenOnline(online.Config{M: 16, Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		evs, err := s.OnlineArrive(ctx, id, online.Arrival{T: moldable.Time(i), Job: moldable.Amdahl{Seq: 1, Par: 20}})
+		if err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("arrive %d produced no events", i)
+		}
+	}
+	if st := s.Stats(); st.OnlineSessions != 1 || st.OnlineOpened != 1 || st.OnlineArrivals != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	mid, err := s.OnlineTrace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, met, err := s.OnlineDrain(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Finished != 5 || met.Jobs != 5 {
+		t.Fatalf("metrics %+v, want 5 jobs finished", met)
+	}
+	if len(mid)+len(evs) < 10 { // ≥ 5 arrives + 5 finishes in total
+		t.Fatalf("event accounting: %d mid + %d drain", len(mid), len(evs))
+	}
+	if st := s.Stats(); st.OnlineSessions != 0 {
+		t.Fatalf("session not released: %+v", st)
+	}
+	if _, err := s.OnlineTrace(id); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("trace after drain: %v, want ErrUnknownSession", err)
+	}
+	if _, _, err := s.OnlineDrain(ctx, id); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("double drain: %v, want ErrUnknownSession", err)
+	}
+}
+
+// TestOnlineSessionErrors: bad configs are refused at open; a poisoned
+// session keeps erroring but drain still releases it.
+func TestOnlineSessionErrors(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.OpenOnline(online.Config{M: 0}); err == nil {
+		t.Error("m=0 session opened")
+	}
+	if _, err := s.OnlineArrive(ctx, 999, online.Arrival{T: 0, Job: moldable.Sequential{T: 1}}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session error %v", err)
+	}
+	id, err := s.OpenOnline(online.Config{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OnlineArrive(ctx, id, online.Arrival{T: 3, Job: moldable.Sequential{T: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OnlineArrive(ctx, id, online.Arrival{T: 1, Job: moldable.Sequential{T: 1}}); err == nil {
+		t.Fatal("out-of-order arrival accepted")
+	}
+	if _, _, err := s.OnlineDrain(ctx, id); err == nil {
+		t.Fatal("drain of poisoned session did not surface the failure")
+	}
+	if st := s.Stats(); st.OnlineSessions != 0 {
+		t.Fatalf("poisoned session leaked: %+v", st)
+	}
+}
+
+// TestOnlineSessionsConcurrent runs independent sessions from many
+// goroutines (the daemon's concurrency shape: each session serial, the
+// set of sessions parallel) under -race in CI.
+func TestOnlineSessionsConcurrent(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id, err := s.OpenOnline(online.Config{M: 8 + g, Eps: 0.25})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := s.OnlineArrive(ctx, id, online.Arrival{
+					T: moldable.Time(i) * 0.5, Job: moldable.Power{W: 10 + moldable.Time(g), Alpha: 0.8},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			_, met, err := s.OnlineDrain(ctx, id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if met.Finished != 20 {
+				errs <- errors.New("incomplete session")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.OnlineSessions != 0 || st.OnlineOpened != 8 || st.OnlineArrivals != 160 {
+		t.Fatalf("stats %+v", st)
+	}
+}

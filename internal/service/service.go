@@ -101,6 +101,10 @@ type Stats struct {
 
 	MemoizedInstances int `json:"memoized_instances"` // instances currently retained in the memo registry
 	CachedResults     int `json:"cached_results"`     // results currently retained in the result cache
+
+	OnlineSessions int   `json:"online_sessions"` // online sessions currently open
+	OnlineOpened   int64 `json:"online_opened"`   // online sessions ever opened
+	OnlineArrivals int64 `json:"online_arrivals"` // arrivals admitted across all online sessions
 }
 
 // Scheduler is the service. Create with New, release with Close. All
@@ -119,11 +123,13 @@ type Scheduler struct {
 	// their owning worker.
 	scratch []*core.Scratch
 	tasks   sync.Map    // ticket → *task
+	onlines sync.Map    // ticket → *onlineSession (see online.go)
 	retired chan uint64 // FIFO of completed tickets, bounding uncollected retention
 	nextID  atomic.Uint64
 
 	submitted, completed, failures, resultHits atomic.Int64
 	looseHits, looseMisses                     atomic.Int64 // memo stats of uncacheable instances
+	onlineOpened, onlineArrivals               atomic.Int64
 }
 
 type task struct {
@@ -414,7 +420,10 @@ func (s *Scheduler) Stats() Stats {
 		OracleMisses:      misses + s.looseMisses.Load(),
 		MemoizedInstances: s.memos.len(),
 		CachedResults:     s.results.len(),
+		OnlineOpened:      s.onlineOpened.Load(),
+		OnlineArrivals:    s.onlineArrivals.Load(),
 	}
+	s.onlines.Range(func(_, _ any) bool { st.OnlineSessions++; return true })
 	st.Pending = st.Submitted - st.Completed
 	return st
 }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"repro/internal/arena"
+	"repro/internal/moldable"
+)
+
+// Machine is the exported event-loop core of the simulator: an
+// m-processor machine state with a clock, capacity acquire/release, and
+// a min-heap of running jobs ordered by finish time. It is the shared
+// substrate of sim.Run's work-conserving dispatch and of the online
+// arrivals runtime (internal/online), which replays the same discipline
+// against a live arrival stream instead of a finished plan
+// (DESIGN.md §7).
+//
+// The state machine is deliberately tiny: Start acquires capacity at
+// the current clock, AdvanceTo moves the clock forward releasing every
+// job that finishes on the way (earliest first, ties broken by job
+// index so event logs are deterministic), and the clock never moves
+// backwards. All buffers are reused across Reset, so a warm Machine
+// performs no steady-state allocation (the arena discipline of
+// DESIGN.md §6). A Machine is single-goroutine state, like every
+// Scratch in the repo.
+type Machine struct {
+	m, free int
+	now     moldable.Time
+	running arena.Heap[Running]
+}
+
+// Running is one job occupying processors, ordered by (finish, job).
+type Running struct {
+	Finish moldable.Time
+	Job    int
+	Procs  int
+}
+
+// Less orders by finish time, breaking ties by job index so that
+// completion order — and everything derived from it, such as the online
+// runtime's event log — is deterministic.
+func (r Running) Less(o Running) bool {
+	if r.Finish != o.Finish {
+		return r.Finish < o.Finish
+	}
+	return r.Job < o.Job
+}
+
+// NewMachine returns an idle machine with m free processors at time 0.
+func NewMachine(m int) *Machine {
+	mc := &Machine{}
+	mc.Reset(m)
+	return mc
+}
+
+// Reset returns the machine to the idle state at time 0 with m free
+// processors, keeping the running-heap backing array.
+func (mc *Machine) Reset(m int) {
+	mc.m = m
+	mc.free = m
+	mc.now = 0
+	mc.running.Reset()
+}
+
+// M returns the machine size.
+func (mc *Machine) M() int { return mc.m }
+
+// Free returns the currently free processor count.
+func (mc *Machine) Free() int { return mc.free }
+
+// Now returns the clock.
+func (mc *Machine) Now() moldable.Time { return mc.now }
+
+// Busy returns the number of running jobs.
+func (mc *Machine) Busy() int { return mc.running.Len() }
+
+// Start acquires procs processors for job at the current clock for the
+// given duration and reports the finish time. It returns ok=false —
+// acquiring nothing — when procs exceeds the free capacity; callers
+// implementing work-conserving dispatch check Free first or advance to
+// the next finish and retry.
+func (mc *Machine) Start(job, procs int, dur moldable.Time) (finish moldable.Time, ok bool) {
+	if procs > mc.free || procs < 1 {
+		return 0, false
+	}
+	mc.free -= procs
+	finish = mc.now + dur
+	mc.running.Push(Running{Finish: finish, Job: job, Procs: procs})
+	return finish, true
+}
+
+// NextFinish returns the earliest completion time of a running job.
+func (mc *Machine) NextFinish() (moldable.Time, bool) {
+	if mc.running.Len() == 0 {
+		return 0, false
+	}
+	return mc.running.Min().Finish, true
+}
+
+// AdvanceTo moves the clock forward to t, completing every running job
+// with finish ≤ t in deterministic (finish, job) order. Capacity is
+// released before onFinish is called, so the callback observes the
+// post-release Free. A nil onFinish just releases. t below the current
+// clock is a no-op for the clock (completions ≤ now, if any, still
+// release — they are already due).
+func (mc *Machine) AdvanceTo(t moldable.Time, onFinish func(Running)) {
+	for mc.running.Len() > 0 && mc.running.Min().Finish <= t {
+		r := mc.running.Pop()
+		mc.free += r.Procs
+		if r.Finish > mc.now {
+			mc.now = r.Finish
+		}
+		if onFinish != nil {
+			onFinish(r)
+		}
+	}
+	if t > mc.now {
+		mc.now = t
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestMachineCore exercises the exported event core directly: capacity
+// acquire/release, clock monotonicity, and the deterministic
+// (finish, job) completion order that the online runtime's event-log
+// determinism rests on.
+func TestMachineCore(t *testing.T) {
+	mc := NewMachine(8)
+	if mc.Free() != 8 || mc.Now() != 0 || mc.Busy() != 0 {
+		t.Fatalf("fresh machine: free=%d now=%v busy=%d", mc.Free(), mc.Now(), mc.Busy())
+	}
+	if _, ok := mc.Start(0, 9, 1); ok {
+		t.Fatal("started a job wider than the machine")
+	}
+	// Three jobs, two finishing at the same time: completion order must
+	// break the tie by job index.
+	if _, ok := mc.Start(2, 2, 5); !ok {
+		t.Fatal("start 2")
+	}
+	if _, ok := mc.Start(1, 3, 5); !ok {
+		t.Fatal("start 1")
+	}
+	if _, ok := mc.Start(0, 3, 7); !ok {
+		t.Fatal("start 0")
+	}
+	if mc.Free() != 0 {
+		t.Fatalf("free=%d after filling the machine", mc.Free())
+	}
+	var order []int
+	mc.AdvanceTo(6, func(r Running) { order = append(order, r.Job) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tie at t=5 completed as %v, want [1 2]", order)
+	}
+	if mc.Now() != 6 || mc.Free() != 5 {
+		t.Fatalf("after AdvanceTo(6): now=%v free=%d", mc.Now(), mc.Free())
+	}
+	nf, ok := mc.NextFinish()
+	if !ok || nf != 7 {
+		t.Fatalf("NextFinish=%v,%v want 7,true", nf, ok)
+	}
+	mc.AdvanceTo(100, nil)
+	if mc.Busy() != 0 || mc.Free() != 8 || mc.Now() != 100 {
+		t.Fatalf("drained: busy=%d free=%d now=%v", mc.Busy(), mc.Free(), mc.Now())
+	}
+	mc.Reset(4)
+	if mc.M() != 4 || mc.Free() != 4 || mc.Now() != 0 {
+		t.Fatalf("reset: m=%d free=%d now=%v", mc.M(), mc.Free(), mc.Now())
+	}
+}

@@ -173,7 +173,8 @@ func runStatic(in *moldable.Instance, s *schedule.Schedule, realized []moldable.
 // runWorkConserving releases jobs in planned start order; each starts
 // when its processors are free (never earlier than release in plan
 // order — the same discipline as listsched.InOrder restricted to the
-// planned sequence).
+// planned sequence). The machine state — clock, capacity, running set —
+// is the exported Machine event core, shared with internal/online.
 func runWorkConserving(in *moldable.Instance, s *schedule.Schedule, realized []moldable.Time,
 	opt Options, met *Metrics) error {
 	order := make([]int, len(s.Placements))
@@ -183,23 +184,10 @@ func runWorkConserving(in *moldable.Instance, s *schedule.Schedule, realized []m
 	sort.SliceStable(order, func(a, b int) bool {
 		return s.Placements[order[a]].Start < s.Placements[order[b]].Start
 	})
-	type running struct {
-		finish moldable.Time
-		procs  int
-		job    int
-	}
-	var act []running // sorted scan is fine at these sizes
-	now := moldable.Time(0)
-	free := in.M
-	release := func(until moldable.Time) {
-		// complete everything finishing ≤ until
-		sort.Slice(act, func(a, b int) bool { return act[a].finish < act[b].finish })
-		for len(act) > 0 && act[0].finish <= until {
-			free += act[0].procs
-			if opt.KeepTrace {
-				met.Trace = append(met.Trace, Event{act[0].finish, EvFinish, act[0].job, act[0].procs, free})
-			}
-			act = act[1:]
+	mach := NewMachine(in.M)
+	onFinish := func(r Running) {
+		if opt.KeepTrace {
+			met.Trace = append(met.Trace, Event{r.Finish, EvFinish, r.Job, r.Procs, mach.Free()})
 		}
 	}
 	for _, pi := range order {
@@ -208,32 +196,32 @@ func runWorkConserving(in *moldable.Instance, s *schedule.Schedule, realized []m
 		if need > in.M {
 			return fmt.Errorf("sim: job %d needs %d > m processors", p.Job, need)
 		}
-		for free < need {
+		for mach.Free() < need {
 			// advance to the next completion
-			sort.Slice(act, func(a, b int) bool { return act[a].finish < act[b].finish })
-			if len(act) == 0 {
+			t, ok := mach.NextFinish()
+			if !ok {
 				return errors.New("sim: deadlock with idle machine") // cannot happen
 			}
-			now = act[0].finish
-			release(now)
+			mach.AdvanceTo(t, onFinish)
 		}
 		if opt.KeepTrace {
-			met.Trace = append(met.Trace, Event{now, EvStart, p.Job, need, free - need})
+			met.Trace = append(met.Trace, Event{mach.Now(), EvStart, p.Job, need, mach.Free() - need})
 		}
-		met.Start[p.Job] = now
-		met.Finish[p.Job] = now + realized[p.Job]
+		met.Start[p.Job] = mach.Now()
+		finish, ok := mach.Start(p.Job, need, realized[p.Job])
+		if !ok {
+			return fmt.Errorf("sim: job %d failed to acquire %d processors", p.Job, need) // cannot happen
+		}
+		met.Finish[p.Job] = finish
 		met.BusyArea += moldable.Time(need) * realized[p.Job]
-		if met.Finish[p.Job] > met.Makespan {
-			met.Makespan = met.Finish[p.Job]
+		if finish > met.Makespan {
+			met.Makespan = finish
 		}
-		free -= need
-		act = append(act, running{met.Finish[p.Job], need, p.Job})
-		used := in.M - free
-		if used > met.PeakProcs {
+		if used := in.M - mach.Free(); used > met.PeakProcs {
 			met.PeakProcs = used
 		}
 	}
-	release(met.Makespan)
+	mach.AdvanceTo(met.Makespan, onFinish)
 	finishMetrics(in.M, met)
 	return nil
 }

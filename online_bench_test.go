@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/online"
+)
+
+// onlineBenchTrace is the ISSUE 4 throughput workload: 4096 arrivals
+// for an m=1024 machine. Shared across the benchmark and the
+// throughput-floor test.
+func onlineBenchTrace(tb testing.TB) []online.Arrival {
+	tb.Helper()
+	trace, err := online.Generate(online.TraceConfig{
+		N: 4096, Seed: 42, Process: online.Poisson, Rate: 8,
+		Jobs: moldable.GenConfig{MinWork: 1, MaxWork: 500},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return trace
+}
+
+// BenchmarkOnline_Throughput measures the online runtime's sustained
+// arrival rate (arrivals/sec) on the n=4096, m=1024 reference trace,
+// per policy. One op = one full replay (arrivals + drain) on a warm,
+// Reset runtime — the steady state of a long-running server. The
+// acceptance bar is ≥ 10k arrivals/sec with zero steady-state allocs
+// on the epoch-replan path (the allocs/op column, gated via
+// BENCH_PR4.json).
+func BenchmarkOnline_Throughput(b *testing.B) {
+	trace := onlineBenchTrace(b)
+	ctx := context.Background()
+	// Only the epoch policy is benchmarked: ReplanOnArrival and Greedy
+	// replan a growing backlog on every single arrival (quadratic in
+	// the stream length by design — they are latency/baseline policies,
+	// not throughput policies) and would dominate the bench wall-clock
+	// without informing the gate.
+	for _, cfg := range []struct {
+		name string
+		pol  online.Policy
+	}{
+		{"epoch", online.ReplanOnEpoch},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt, err := online.New(online.Config{M: 1024, Policy: cfg.pol, Algorithm: core.Linear, Eps: 0.25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			replay := func() {
+				rt.Reset()
+				for i := range trace {
+					if _, err := rt.Arrive(ctx, trace[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := rt.Drain(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			replay() // warm the scratch and buffers outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				replay()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(trace)*b.N)/b.Elapsed().Seconds(), "arrivals/sec")
+		})
+	}
+}
+
+// TestOnlineThroughputFloor asserts the ISSUE 4 acceptance bar outside
+// the benchmark harness so CI enforces it: ≥ 10k arrivals/sec on the
+// reference trace. The bar is checked without the race detector only —
+// -race instruments every memory access and throughput numbers under it
+// say nothing about production speed.
+func TestOnlineThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput floor is not -short material")
+	}
+	trace := onlineBenchTrace(t)
+	ctx := context.Background()
+	rt, err := online.New(online.Config{M: 1024, Policy: online.ReplanOnEpoch, Algorithm: core.Linear, Eps: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := func() {
+		rt.Reset()
+		for i := range trace {
+			if _, err := rt.Arrive(ctx, trace[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rt.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay() // warm
+	start := time.Now()
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		replay()
+	}
+	perSec := float64(reps*len(trace)) / time.Since(start).Seconds()
+	t.Logf("online epoch policy: %.0f arrivals/sec (n=%d, m=1024)", perSec, len(trace))
+	if raceEnabled {
+		t.Skipf("race detector active: measured %.0f arrivals/sec, floor not enforced", perSec)
+	}
+	if perSec < 10_000 {
+		t.Fatalf("throughput %.0f arrivals/sec below the 10k floor", perSec)
+	}
+}

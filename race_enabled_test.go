@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector — performance-floor assertions are logged, not enforced,
+// under its ~10× instrumentation overhead.
+const raceEnabled = true

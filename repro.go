@@ -27,7 +27,9 @@
 //	s, rep, err := c.Schedule(ctx, in)
 //
 // Methods: Schedule (one instance), ScheduleStream (a batch, results
-// streamed in completion order as an iter.Seq2), Estimate (ω with
+// streamed in completion order as an iter.Seq2), RunOnline (a
+// timestamped arrival stream replayed through the event-driven online
+// runtime — see internal/online and DESIGN.md §7), Estimate (ω with
 // ω ≤ OPT ≤ 2ω), Validate (instance preconditions), ValidateSchedule.
 // Cancellation and deadlines on ctx reach all the way into the
 // algorithms' dual-search probe loops; interrupted work returns errors
