@@ -47,6 +47,8 @@ func mkDual(name string, in *moldable.Instance, eps float64) dual.Algorithm {
 		return &fast.Alg3{In: in, Eps: eps}
 	case "linear":
 		return &fast.Alg3{In: in, Eps: eps, Buckets: true}
+	case "conv":
+		return &fast.Conv{In: in, Eps: eps}
 	}
 	panic(name)
 }
@@ -68,7 +70,7 @@ func benchDual(b *testing.B, name string, n, m int, eps float64) {
 // --- Table 1: scaling in n (fixed m=2048, ε=0.25) ---
 
 func BenchmarkTable1_ScalingN(b *testing.B) {
-	for _, name := range []string{"mrt", "alg1", "alg3", "linear"} {
+	for _, name := range []string{"mrt", "alg1", "alg3", "linear", "conv"} {
 		for _, n := range []int{64, 256, 1024, 4096} {
 			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
 				benchDual(b, name, n, 2048, 0.25)
@@ -95,7 +97,7 @@ func BenchmarkTable1_ScalingM(b *testing.B) {
 // --- Table 1: scaling in ε (fixed n=256, m=2048) ---
 
 func BenchmarkTable1_ScalingEps(b *testing.B) {
-	for _, name := range []string{"alg1", "alg3", "linear"} {
+	for _, name := range []string{"alg1", "alg3", "linear", "conv"} {
 		for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
 			b.Run(fmt.Sprintf("%s/eps=%g", name, eps), func(b *testing.B) {
 				benchDual(b, name, 256, 2048, eps)
@@ -135,6 +137,7 @@ func BenchmarkTheorem3_FullRun(b *testing.B) {
 		{"alg1", fast.ScheduleAlg1},
 		{"alg3", fast.ScheduleAlg3},
 		{"linear", fast.ScheduleLinear},
+		{"conv", fast.ScheduleConv},
 	}
 	for _, r := range runners {
 		b.Run(r.name, func(b *testing.B) {
@@ -170,6 +173,7 @@ func BenchmarkTheorem3_ScratchSteadyState(b *testing.B) {
 		{"alg1", core.Alg1},
 		{"alg3", core.Alg3},
 		{"linear", core.Linear},
+		{"conv", core.Conv},
 	}
 	for _, a := range algos {
 		b.Run(a.name, func(b *testing.B) {
@@ -231,6 +235,45 @@ func BenchmarkFig1_ReductionPipeline(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Crossover: conv vs linear vs fptas, full runs at growing m ---
+
+// BenchmarkCrossover_ConvVsLinear is the ISSUE-5 headline: complete
+// warm-scratch Schedule runs on the reference instance family (n=256
+// mixed workload, seed 42) with m swept to 2^20. At these shapes both
+// Conv and Linear route to their large-machine duals; Conv's candidate
+// grid touches the oracle O(log(log m)·…) fewer times per probe than
+// Linear's full-range γ searches, so its advantage must grow with m —
+// the acceptance bar is conv < linear wall-clock at m ≥ 2^18,
+// snapshotted in BENCH_PR5.json (docs/PERFORMANCE.md has the table).
+func BenchmarkCrossover_ConvVsLinear(b *testing.B) {
+	for _, m := range []int{1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		in := moldable.Random(moldable.GenConfig{N: 256, M: m, Seed: 42})
+		for _, a := range []struct {
+			name string
+			algo core.Algorithm
+		}{
+			{"conv", core.Conv},
+			{"linear", core.Linear},
+			{"fptas", core.FPTAS},
+		} {
+			b.Run(fmt.Sprintf("%s/m=2^%d", a.name, log2(m)), func(b *testing.B) {
+				ctx := context.Background()
+				opt := core.Options{Algorithm: a.algo, Eps: 0.25}
+				sc := core.NewScratch()
+				if _, _, err := core.ScheduleScratchCtx(ctx, in, opt, sc); err != nil {
+					b.Fatal(err) // warm-up
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.ScheduleScratchCtx(ctx, in, opt, sc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		inPath  = flag.String("in", "-", "instance JSON path ('-' for stdin)")
-		algoStr = flag.String("algo", "auto", "algorithm: auto|lt2|mrt|alg1|alg3|linear|fptas")
+		algoStr = flag.String("algo", "auto", "algorithm: auto|lt2|mrt|alg1|alg3|linear|fptas|conv")
 		eps     = flag.Float64("eps", 0.1, "accuracy ε ∈ (0,1]")
 		gantt   = flag.Bool("gantt", false, "render an ASCII Gantt chart")
 		width   = flag.Int("width", 100, "gantt width in characters")

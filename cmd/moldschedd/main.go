@@ -68,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -203,8 +204,20 @@ func main() {
 	})
 	defer svc.Close()
 
-	out := &writer{enc: json.NewEncoder(os.Stdout)}
-	sc := bufio.NewScanner(os.Stdin)
+	if err := serve(svc, os.Stdin, os.Stdout, *probes); err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+}
+
+// serve runs the JSON-lines read loop against svc until EOF or a
+// shutdown request. Extracted from main so the error paths of the
+// protocol — malformed lines, unknown ops, stateful-session misuse —
+// are testable in-process; the loop's resilience contract is that no
+// request, however malformed, terminates it (only EOF, shutdown, or an
+// unreadable stream do).
+func serve(svc *service.Scheduler, in io.Reader, w io.Writer, probes int) error {
+	out := &writer{enc: json.NewEncoder(w)}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28) // table-backed instances can be large
 	var pending sync.WaitGroup               // all async handlers
 	var submits sync.WaitGroup               // submit handlers only; see the result case
@@ -228,7 +241,7 @@ func main() {
 			go func(req request) {
 				defer pending.Done()
 				defer submits.Done()
-				handleSubmit(svc, out, req, *probes)
+				handleSubmit(svc, out, req, probes)
 			}(req)
 		case "result":
 			if req.Wait {
@@ -251,7 +264,7 @@ func main() {
 		case "open_online":
 			handleOpenOnline(svc, out, req)
 		case "arrive":
-			handleArrive(svc, out, req, *probes)
+			handleArrive(svc, out, req, probes)
 		case "trace":
 			evs, err := svc.OnlineTrace(req.ID)
 			if err != nil {
@@ -267,15 +280,17 @@ func main() {
 		case "shutdown":
 			pending.Wait()
 			out.send(response{Op: "shutdown", Tag: req.Tag})
-			return
+			return nil
 		default:
 			out.send(response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("reading stdin: %v", err)
-	}
+	// Wait for in-flight async handlers on EVERY exit path (the
+	// shutdown case waits separately before acking): a handler that
+	// outlives serve would write into w after the caller has moved on
+	// — for an embedder reading a bytes.Buffer, a data race.
 	pending.Wait()
+	return sc.Err()
 }
 
 func handleSubmit(svc *service.Scheduler, out *writer, req request, probes int) {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// runSession feeds the request lines through the serve loop against a
+// fresh service and decodes every response. A trailing shutdown is
+// appended so serve drains its async handlers before returning.
+func runSession(t *testing.T, lines ...string) []response {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	in := strings.Join(append(lines, `{"op":"shutdown","tag":"end"}`), "\n") + "\n"
+	var buf bytes.Buffer
+	if err := serve(svc, strings.NewReader(in), &buf, 64); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	var out []response
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var r response
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 || out[len(out)-1].Op != "shutdown" {
+		t.Fatalf("session did not end with a shutdown ack: %+v", out)
+	}
+	return out
+}
+
+// find returns the first response matching pred, failing if none does.
+func find(t *testing.T, rs []response, what string, pred func(response) bool) response {
+	t.Helper()
+	for _, r := range rs {
+		if pred(r) {
+			return r
+		}
+	}
+	t.Fatalf("no %s response in %+v", what, rs)
+	return response{}
+}
+
+// TestServeMalformedLineKeepsSessionAlive: a line that is not valid
+// JSON must yield a bad_request error response and the loop must keep
+// serving — the stats request after the garbage still gets answered.
+func TestServeMalformedLineKeepsSessionAlive(t *testing.T) {
+	rs := runSession(t,
+		`{"op":"stats","tag":"before"}`,
+		`{not json at all`,
+		`{"op":"stats","tag":"after"}`,
+	)
+	bad := find(t, rs, "bad_request", func(r response) bool { return r.Code == "bad_request" && r.Op == "error" })
+	if bad.Error == "" {
+		t.Fatalf("bad_request response carries no error text: %+v", bad)
+	}
+	find(t, rs, "stats after garbage", func(r response) bool { return r.Op == "stats" && r.Tag == "after" })
+	// An unknown op is the structured sibling of garbage: same code,
+	// same survival.
+	rs = runSession(t,
+		`{"op":"frobnicate","tag":"x"}`,
+		`{"op":"stats","tag":"after"}`,
+	)
+	find(t, rs, "unknown-op error", func(r response) bool { return r.Code == "bad_request" && r.Tag == "x" })
+	find(t, rs, "stats after unknown op", func(r response) bool { return r.Op == "stats" && r.Tag == "after" })
+}
+
+// TestServeArriveAfterDrain: draining an online session releases its
+// ticket; a later arrive must produce a typed unknown_ticket error —
+// not a panic, not a silent success — and the loop keeps serving.
+func TestServeArriveAfterDrain(t *testing.T) {
+	rs := runSession(t,
+		`{"op":"open_online","tag":"s1","m":64,"policy":"epoch","eps":0.5}`,
+		`{"op":"arrive","id":1,"t":0,"job":{"type":"amdahl","seq":2,"par":98}}`,
+		`{"op":"drain","id":1}`,
+		`{"op":"arrive","id":1,"t":1,"job":{"type":"amdahl","seq":2,"par":98}}`,
+		`{"op":"stats","tag":"after"}`,
+	)
+	open := find(t, rs, "open_online", func(r response) bool { return r.Op == "open_online" && r.Tag == "s1" })
+	if open.Code != "" || open.ID != 1 {
+		t.Fatalf("open_online failed: %+v", open)
+	}
+	first := find(t, rs, "first arrive", func(r response) bool { return r.Op == "arrive" && r.Code == "" })
+	if len(first.Events) == 0 {
+		t.Fatalf("first arrive produced no events: %+v", first)
+	}
+	find(t, rs, "drain", func(r response) bool { return r.Op == "drain" && r.Code == "" })
+	late := find(t, rs, "late arrive", func(r response) bool { return r.Op == "arrive" && r.Code != "" })
+	if late.Code != "unknown_ticket" {
+		t.Fatalf("arrive after drain: code %q, want unknown_ticket (%+v)", late.Code, late)
+	}
+	find(t, rs, "stats after late arrive", func(r response) bool { return r.Op == "stats" && r.Tag == "after" })
+}
+
+// TestServeUnknownAlgoEnumeratesNames: a submit with an unknown algo
+// string must come back bad_request with every accepted name — conv
+// included — so a client can self-correct from the error text alone.
+func TestServeUnknownAlgoEnumeratesNames(t *testing.T) {
+	rs := runSession(t,
+		`{"op":"submit","tag":"bad","algo":"simplex","instance":{"m":64,"jobs":[{"type":"amdahl","seq":2,"par":98}]}}`,
+	)
+	bad := find(t, rs, "submit error", func(r response) bool { return r.Op == "submit" && r.Tag == "bad" })
+	if bad.Code != "bad_request" {
+		t.Fatalf("unknown algo: code %q, want bad_request (%+v)", bad.Code, bad)
+	}
+	for _, name := range core.AlgorithmNames() {
+		if !strings.Contains(bad.Error, name) {
+			t.Errorf("error %q does not mention algorithm %q", bad.Error, name)
+		}
+	}
+	if !strings.Contains(bad.Error, "conv") {
+		t.Errorf("error %q does not mention conv", bad.Error)
+	}
+}
+
+// TestServeSubmitConv: the conv wire name round-trips through submit
+// and the result reports the algorithm that ran.
+func TestServeSubmitConv(t *testing.T) {
+	rs := runSession(t,
+		`{"op":"submit","tag":"c1","algo":"conv","eps":0.25,"instance":{"m":256,"jobs":[{"type":"amdahl","seq":2,"par":98},{"type":"power","w":50,"alpha":0.8}]}}`,
+		`{"op":"result","id":1,"wait":true}`,
+	)
+	sub := find(t, rs, "submit ack", func(r response) bool { return r.Op == "submit" && r.Tag == "c1" })
+	if sub.Code != "" {
+		t.Fatalf("conv submit rejected: %+v", sub)
+	}
+	res := find(t, rs, "result", func(r response) bool { return r.Op == "result" && r.ID == sub.ID })
+	if res.Code != "" || res.Algorithm != "conv" || !(res.Makespan > 0) {
+		t.Fatalf("conv result: %+v", res)
+	}
+}

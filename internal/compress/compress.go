@@ -11,16 +11,54 @@ import "math"
 // Valid reports whether rho is a valid compression factor (0, 1/4].
 func Valid(rho float64) bool { return rho > 0 && rho <= 0.25 }
 
+// intSnap returns the absolute tolerance within which floorInt/ceilInt
+// treat x as the neighbouring integer: a hair above a few ulps at every
+// magnitude that fits an int exactly. Expressions like b·(1−ρ) or 1/ρ
+// whose exact value is an integer k routinely evaluate to k∓(a few
+// ulps) in float64; without the snap, Floor/Ceil then land on k−1/k+1
+// — the off-by-one this package must never produce, because a
+// one-too-small threshold or a one-too-large compressed count silently
+// voids the Lemma 4 precondition.
+func intSnap(x float64) float64 { return 1e-12 * (math.Abs(x) + 1) }
+
+// floorInt is ⌊x⌋ with an epsilon guard: a value within intSnap of the
+// next integer is treated as that integer. For x = k−ε (ε a rounding
+// artifact) it returns k, where int(math.Floor(x)) would return k−1.
+func floorInt(x float64) int {
+	f := math.Floor(x)
+	if x-f >= 1-intSnap(x) {
+		return int(f) + 1
+	}
+	return int(f)
+}
+
+// ceilInt is ⌈x⌉ with the same guard: a value within intSnap above an
+// integer k is treated as k. For x = k+ε it returns k, where
+// int(math.Ceil(x)) would return k+1.
+func ceilInt(x float64) int {
+	c := math.Ceil(x)
+	if c-x >= 1-intSnap(x) {
+		return int(c) - 1
+	}
+	return int(c)
+}
+
 // Threshold returns the minimum processor count 1/ρ (rounded up) a job
-// must use for Lemma 4 to apply with factor rho.
-func Threshold(rho float64) int { return int(math.Ceil(1 / rho)) }
+// must use for Lemma 4 to apply with factor rho. The quotient is
+// epsilon-guarded: for ρ = 1/k the float64 quotient can land just
+// above k (e.g. ρ = 1/49), and an unguarded Ceil would demand k+1
+// processors — excluding jobs the lemma covers.
+func Threshold(rho float64) int { return ceilInt(1 / rho) }
 
 // CompressedProcs returns ⌊b(1−ρ)⌋, the processor count after
 // compressing a job from b processors with factor rho. Lemma 4
 // guarantees t_j(CompressedProcs(b,ρ)) ≤ (1+4ρ)·t_j(b) whenever
-// b ≥ 1/ρ.
+// b ≥ 1/ρ. The product is epsilon-guarded: when b(1−ρ) is an integer k
+// in exact arithmetic the float64 product can land just below it (e.g.
+// b=10, ρ=0.3 gives 6.9999…96), and an unguarded Floor would strand a
+// processor.
 func CompressedProcs(b int, rho float64) int {
-	return int(math.Floor(float64(b) * (1 - rho)))
+	return floorInt(float64(b) * (1 - rho))
 }
 
 // TimeFactor returns the worst-case processing-time inflation 1+4ρ of a
@@ -47,7 +85,7 @@ func NewLemma16(delta float64) Lemma16 {
 		Delta:   delta,
 		Rho:     rho,
 		RhoFull: rhoFull,
-		B:       int(math.Ceil(1 / rhoFull)),
+		B:       ceilInt(1 / rhoFull),
 	}
 }
 

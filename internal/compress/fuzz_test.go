@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// Pinned adversarial cases where the unguarded conversions are one off:
+// the float64 product/quotient is representable just below (floor) or
+// just above (ceil) the exact integer value.
+func TestCompressedProcsFPOffByOne(t *testing.T) {
+	cases := []struct {
+		b    int
+		rho  float64
+		want int
+	}{
+		// 20·(1−0.05): 1−0.05 = 0.9499999999999999556…, product
+		// 18.9999999999999991 — unguarded Floor says 18, the intended
+		// value of ⌊20·0.95⌋ is 19.
+		{20, 0.05, 19},
+		// 10·(1−0.3) = 6.9999999999999996 under float64 — intended 7.
+		// (0.3 is outside Valid's (0,1/4], but CompressedProcs is also
+		// used with raw Lemma 4 factors; keep the classic case pinned.)
+		{10, 0.3, 7},
+		// 40·(1−0.15): 0.85 rounds up, product 34.000000000000004 —
+		// Floor is correct here; the guard must not overshoot to 35.
+		{40, 0.15, 34},
+		// Exact binary arithmetic: no guard should fire.
+		{16, 0.25, 12},
+		{1024, 0.25, 768},
+	}
+	for _, tc := range cases {
+		if got := CompressedProcs(tc.b, tc.rho); got != tc.want {
+			t.Errorf("CompressedProcs(%d, %v) = %d, want %d", tc.b, tc.rho, got, tc.want)
+		}
+	}
+}
+
+// TestThresholdReciprocalExact: for ρ stored as float64(1/k), the
+// intended threshold is k. The float64 quotient 1/(1.0/k) lands just
+// above k for many k (k = 49 is the classic), where an unguarded Ceil
+// returns k+1 — demanding one more processor than Lemma 4 needs.
+func TestThresholdReciprocalExact(t *testing.T) {
+	for k := 4; k <= 100000; k++ {
+		rho := 1.0 / float64(k)
+		if got := Threshold(rho); got != k {
+			t.Fatalf("Threshold(1/%d) = %d, want %d (1/rho = %.17g)", k, got, k, 1/rho)
+		}
+	}
+}
+
+// TestLemma16BMatchesRhoFull: B must be the epsilon-guarded ⌈1/ρ′⌉ —
+// in particular never 1 too large when 1/ρ′ sits a few ulps above an
+// integer, so that a job using exactly ⌈1/ρ′⌉ processors qualifies as
+// wide.
+func TestLemma16BMatchesRhoFull(t *testing.T) {
+	for i := 1; i <= 5000; i++ {
+		delta := float64(i) / 5000
+		l := NewLemma16(delta)
+		// Reference via big.Float at 200 bits: the true ⌈1/ρ′⌉ of the
+		// float64 ρ′ actually stored, allowing the snap to collapse a
+		// few-ulp overshoot.
+		inv := new(big.Float).SetPrec(200).Quo(big.NewFloat(1), big.NewFloat(l.RhoFull))
+		f, _ := inv.Float64()
+		lo, hi := int(math.Floor(f)), int(math.Ceil(f))
+		if l.B != lo && l.B != hi {
+			t.Fatalf("delta=%v: B=%d not in {⌊1/ρ′⌋, ⌈1/ρ′⌉} = {%d, %d}", delta, l.B, lo, hi)
+		}
+		// The wide-job threshold must actually support compression by
+		// ρ′: B·ρ′ ≥ 1 up to snap noise.
+		if float64(l.B)*l.RhoFull < 1-1e-9 {
+			t.Fatalf("delta=%v: B=%d has B·ρ′ = %v < 1", delta, l.B, float64(l.B)*l.RhoFull)
+		}
+	}
+}
+
+// FuzzCompressedProcsBounds pins the two properties every caller
+// depends on, at adversarial (b, ρ) pairs: compression strictly
+// reduces the processor count (CompressedProcs(b,ρ) < b whenever
+// b ≥ Threshold(ρ)), and the result stays a valid count (≥ 1) within
+// one unit of the exact real product.
+func FuzzCompressedProcsBounds(f *testing.F) {
+	f.Add(20, 0.05)
+	f.Add(10, 0.24999999999999997)
+	f.Add(49, 1.0/49)
+	f.Add(1<<20, 0.001)
+	f.Fuzz(func(t *testing.T, b int, rho float64) {
+		if !Valid(rho) || rho < 1e-6 || b < 1 || b > 1<<30 {
+			t.Skip()
+		}
+		thr := Threshold(rho)
+		if float64(thr) < 1/rho-1e-6 {
+			t.Fatalf("Threshold(%v) = %d < 1/ρ = %v", rho, thr, 1/rho)
+		}
+		if b < thr {
+			t.Skip() // Lemma 4 precondition b ≥ 1/ρ not met
+		}
+		got := CompressedProcs(b, rho)
+		if got < 1 {
+			t.Fatalf("CompressedProcs(%d, %v) = %d < 1", b, rho, got)
+		}
+		if got >= b {
+			t.Fatalf("CompressedProcs(%d, %v) = %d did not shrink", b, rho, got)
+		}
+		// Exact reference: ⌊b(1−ρ)⌋ over big.Float of the stored ρ.
+		exact := new(big.Float).SetPrec(200).Mul(
+			big.NewFloat(float64(b)),
+			new(big.Float).SetPrec(200).Sub(big.NewFloat(1), big.NewFloat(rho)))
+		ef, _ := exact.Float64()
+		lo, hi := int(math.Floor(ef)), int(math.Ceil(ef))
+		if got != lo && got != hi {
+			t.Fatalf("CompressedProcs(%d, %v) = %d, exact b(1−ρ) = %.17g", b, rho, got, ef)
+		}
+	})
+}
+
+// FuzzThresholdBounds: Threshold must bracket 1/ρ from above within
+// one unit and stay ≥ 1 for every valid ρ — including values a few
+// ulps off a reciprocal.
+func FuzzThresholdBounds(f *testing.F) {
+	f.Add(0.05)
+	f.Add(1.0 / 49)
+	f.Add(0.25)
+	f.Add(0.2499999999999999)
+	f.Fuzz(func(t *testing.T, rho float64) {
+		if !Valid(rho) || rho < 1e-9 {
+			t.Skip()
+		}
+		thr := Threshold(rho)
+		if thr < 1 {
+			t.Fatalf("Threshold(%v) = %d < 1", rho, thr)
+		}
+		inv := 1 / rho
+		if float64(thr) < inv-1e-6*inv || float64(thr) > inv+1+1e-6*inv {
+			t.Fatalf("Threshold(%v) = %d outside [1/ρ, 1/ρ+1] = [%v, %v]", rho, thr, inv, inv+1)
+		}
+		// A job at the threshold must be compressible to ≥ 1 processor.
+		if got := CompressedProcs(thr, rho); got < 1 || got >= thr {
+			t.Fatalf("CompressedProcs(Threshold(%v)) = %d not in [1, %d)", rho, got, thr)
+		}
+	})
+}

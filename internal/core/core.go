@@ -10,6 +10,8 @@
 //	Alg3    (3/2+ε), bounded knapsack with rounded types, §4.3
 //	Linear  (3/2+ε), §4.3.3 — linear in n, polylog in m
 //	FPTAS   (1+ε) for m ≥ 16n/ε (Theorem 2)
+//	Conv    (3/2+ε), convolution knapsack over compression classes
+//	        (arXiv:2303.01414); requires m ≥ 40 (see DESIGN.md §8)
 //	Auto    FPTAS when applicable, otherwise Linear
 package core
 
@@ -43,6 +45,7 @@ const (
 	Alg3
 	Linear
 	FPTAS
+	Conv
 )
 
 // String names the algorithm.
@@ -62,13 +65,15 @@ func (a Algorithm) String() string {
 		return "linear"
 	case FPTAS:
 		return "fptas"
+	case Conv:
+		return "conv"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
 // Algorithms lists every selectable algorithm, in declaration order.
 func Algorithms() []Algorithm {
-	return []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS}
+	return []Algorithm{Auto, LT2, MRT, Alg1, Alg3, Linear, FPTAS, Conv}
 }
 
 // AlgorithmNames lists the accepted names for ParseAlgorithm, sorted.
@@ -210,6 +215,9 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 		rep.Guarantee = 1.5 + opt.Eps
 	case Linear:
 		s, dr, err = fast.ScheduleLinearScratchCtx(ctx, in, opt.Eps, &sc.Fast)
+		rep.Guarantee = 1.5 + opt.Eps
+	case Conv:
+		s, dr, err = fast.ScheduleConvScratchCtx(ctx, in, opt.Eps, &sc.Fast)
 		rep.Guarantee = 1.5 + opt.Eps
 	case FPTAS:
 		s, dr, err = fptas.ScheduleScratchCtx(ctx, in, opt.Eps, &sc.FP)

@@ -12,9 +12,11 @@ import (
 // TestScheduleScratchZeroAlloc is the acceptance guard of the
 // zero-allocation hot path (ISSUE 3 / BENCH_PR3.json): with a warm
 // Scratch, single-instance scheduling at n=256, m=4096 must perform no
-// heap allocation in the steady state — both for the Theorem-2 FPTAS
-// and for the Linear algorithm (which at m ≥ 16n runs the FPTAS dual
-// per §4.2.5).
+// heap allocation in the steady state — for the Theorem-2 FPTAS, for
+// the Linear algorithm (which at m ≥ 16n runs the FPTAS dual per
+// §4.2.5), and for Conv (ISSUE 5), which at m = 16n < 32n runs the
+// full convolution knapsack engine, so the guard covers the class
+// grid, the profile staircases, the merge tree, and the backtracking.
 func TestScheduleScratchZeroAlloc(t *testing.T) {
 	in := moldable.Random(moldable.GenConfig{N: 256, M: 4096, Seed: 42})
 	ctx := context.Background()
@@ -24,6 +26,7 @@ func TestScheduleScratchZeroAlloc(t *testing.T) {
 	}{
 		{"linear", Options{Algorithm: Linear, Eps: 0.25}},
 		{"fptas", Options{Algorithm: FPTAS, Eps: 1}},
+		{"conv", Options{Algorithm: Conv, Eps: 0.25}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -64,6 +67,8 @@ func TestScheduleScratchLowAllocKnapsackPath(t *testing.T) {
 		{"alg1", Options{Algorithm: Alg1, Eps: 0.25}, 4},
 		{"alg3", Options{Algorithm: Alg3, Eps: 0.25}, 8},
 		{"linear", Options{Algorithm: Linear, Eps: 0.25}, 8},
+		// Conv has no map in its hot path: exactly zero even here.
+		{"conv", Options{Algorithm: Conv, Eps: 0.25}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,7 +101,9 @@ func TestScheduleScratchMatchesUnpooled(t *testing.T) {
 		moldable.Random(moldable.GenConfig{N: 64, M: 4096, Seed: 3}),
 		moldable.Random(moldable.GenConfig{N: 7, M: 9, Seed: 4}),
 	}
-	algos := []Algorithm{LT2, MRT, Alg1, Alg3, Linear, Auto}
+	// Conv regime-errors on the M=9 instance in both paths; the error
+	// branch below covers that equivalence too.
+	algos := []Algorithm{LT2, MRT, Alg1, Alg3, Linear, Conv, Auto}
 	for _, algo := range algos {
 		sc := NewScratch() // shared across all instances of this algorithm
 		for rep := 0; rep < 2; rep++ {

@@ -58,37 +58,52 @@ func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedul
 }
 
 // SearchCtx runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.
-// The returned schedule has makespan ≤ (c+eps)·OPT.
+// The returned schedule has makespan ≤ (c+eps)·OPT. It is
+// SearchRangeCtx on the classical estimator interval [ω, 2ω].
+func SearchCtx(ctx context.Context, algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
+	return SearchRangeCtx(ctx, algo, omega, 2*omega, eps)
+}
+
+// SearchRangeCtx runs the dual binary search on a caller-supplied
+// bracket: lo must satisfy lo ≤ OPT and hi must satisfy OPT ≤ hi (so
+// the first probe, at hi, is guaranteed to be accepted by a correct
+// dual algorithm). Estimators weaker than Ludwig–Tiwari's [ω, 2ω] —
+// the grid-restricted estimate of the Conv algorithm brackets OPT by
+// [ω_S/κ, 2ω_S] — pay only O(log(hi/lo)) extra probes.
 //
 // The context is checked between probes (each probe is a full dual
 // call, the expensive unit of work); a canceled context aborts the
 // search with an error matching scherr.ErrCanceled, reporting the
 // probes spent so far.
 //
-// Invariants: hi is always accepted; lo is either ω (≤ OPT) or a rejected
-// value (< OPT). The loop narrows hi−lo below (eps/c)·ω, after which
-// makespan ≤ c·hi ≤ c·lo + eps·ω ≤ (c+eps)·OPT.
-func SearchCtx(ctx context.Context, algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
+// Invariants: hi is always accepted; lo is either the initial lower
+// bound (≤ OPT) or a rejected value (< OPT). The loop narrows hi−lo
+// below (eps/c)·lo, after which
+// makespan ≤ c·hi ≤ c·lo + eps·lo ≤ (c+eps)·OPT.
+func SearchRangeCtx(ctx context.Context, algo Algorithm, lo, hi moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
 	if eps <= 0 {
 		return nil, Report{}, scherr.BadEps("dual", eps)
 	}
 	c := algo.Guarantee()
-	rep := Report{Omega: omega}
-	if omega <= 0 {
+	rep := Report{Omega: lo}
+	if lo <= 0 {
 		return nil, rep, errors.New("dual: estimator returned non-positive omega")
+	}
+	if hi < lo {
+		return nil, rep, fmt.Errorf("dual: empty search bracket [%v, %v]", lo, hi)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, rep, scherr.Canceled(err)
 	}
-	lo, hi := omega, 2*omega
 	sched, ok := algo.Try(hi)
 	rep.Iterations++
 	if !ok {
 		return nil, rep, ErrNoSchedule
 	}
 	// d = lo may already be feasible; probing it first can save half the
-	// interval but is not required for the guarantee.
-	target := eps / c * omega
+	// interval but is not required for the guarantee. The target uses
+	// the INITIAL lo (≤ OPT), fixed before the loop narrows the bracket.
+	target := eps / c * lo
 	for hi-lo > target {
 		if err := ctx.Err(); err != nil {
 			return nil, rep, scherr.Canceled(err)

@@ -55,12 +55,22 @@ func (a *Alg1) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // the schedule itself allots γ_j(d′) processors.
 func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
-	sc := a.Scratch
+	return tryCompressibleShelf1(a.In, d, a.Eps/6, a.Scratch, &a.Stats, knapsack.SolveScratch)
+}
+
+// tryCompressibleShelf1 is the dual round shared by Alg1 and Conv —
+// they differ only in the engine that solves the shelf-1 knapsack with
+// compressible items (Algorithm 2's pair lists vs the convolution
+// engine; both honour the Theorem-15 contract): partition at target d,
+// optional jobs become knapsack items (compressible ⇔ γ_j(d) ≥ 1/ρ),
+// solve, build the three-shelf schedule at d′ = (1+4ρ)d. SolveConv
+// ignores Problem.NBar, so passing Alg1's bound is harmless there.
+func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
+	sc *Scratch, stats *Alg1Stats,
+	solve func(knapsack.Problem, *knapsack.Scratch) (knapsack.Solution, error)) (*schedule.Schedule, bool) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
-	in := a.In
-	rho := a.Eps / 6
 	dprime := (1 + 4*rho) * d
 	part := &sc.Shelves.Part
 	if !shelves.ComputeInto(part, in, d) {
@@ -90,7 +100,7 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 			betaMax = incompTotal
 		}
 		nbar := int(rho*float64(capacity)) + 2
-		sol, err := knapsack.SolveScratch(knapsack.Problem{
+		sol, err := solve(knapsack.Problem{
 			Items:        items,
 			Compressible: comp,
 			C:            capacity,
@@ -102,9 +112,9 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 		if err != nil {
 			return nil, false
 		}
-		a.Stats.PairsComp += int64(sol.Stats.PairsComp)
-		a.Stats.PairsIncomp += int64(sol.Stats.PairsIncomp)
-		a.Stats.NumAlphas += int64(sol.Stats.NumAlphas)
+		stats.PairsComp += int64(sol.Stats.PairsComp)
+		stats.PairsIncomp += int64(sol.Stats.PairsIncomp)
+		stats.NumAlphas += int64(sol.Stats.NumAlphas)
 		shelf1 = append(shelf1, sol.Selected...)
 	}
 	sc.shelf1 = shelf1

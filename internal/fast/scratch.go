@@ -31,10 +31,18 @@ type Scratch struct {
 	// dual.SearchCtx avoids a heap allocation per Schedule call.
 	a1 Alg1
 	a3 Alg3
+	cv Conv
+	cw convWide
 	fp fptas.Dual
 	// fpSched backs the regime dual's schedule double buffer; its LT
 	// field is unused (estimation runs through sc.LT).
 	fpSched fptas.Scratch
+
+	// convWide's schedule double buffer and candidate processor grid
+	// (rebuilt only when the machine size changes).
+	cwSched schedule.DoubleBuffer
+	cwCands []int
+	cwM     int
 
 	// Build output, reused across probes.
 	buildRes shelves.Result

@@ -13,6 +13,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/dual"
 	"repro/internal/gamma"
 	"repro/internal/lt"
@@ -143,7 +144,7 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, eps float64,
 // with ok=false).
 func AllotmentRule2(in *moldable.Instance, d moldable.Time, eps float64) (allot []int, total int, ok bool) {
 	rho := eps / 4
-	wide := compressThreshold(rho)
+	wide := compress.Threshold(rho)
 	allot = make([]int, in.N())
 	for i, j := range in.Jobs {
 		g, gok := gamma.Gamma(j, in.M, d)
@@ -151,15 +152,13 @@ func AllotmentRule2(in *moldable.Instance, d moldable.Time, eps float64) (allot 
 			return allot, 0, false
 		}
 		if g >= wide {
-			g = int(math.Floor(float64(g) * (1 - rho)))
+			g = compress.CompressedProcs(g, rho)
 		}
 		allot[i] = g
 		total += g
 	}
 	return allot, total, true
 }
-
-func compressThreshold(rho float64) int { return int(math.Ceil(1 / rho)) }
 
 // GammaTotal returns Σ_j γ_j(d) and whether all γ are defined — the
 // quantity bounded by Lemma 5 (< m + n when d ≥ OPT).

@@ -64,6 +64,10 @@ func Solve(p Problem) (Solution, error) {
 // Scratch makes the whole call allocation-free, and the returned
 // Solution.Selected aliases the scratch (valid until its next use). A
 // nil scratch uses fresh buffers, making the result caller-owned.
+//
+// LOCK-STEP: SolveConvScratch (conv.go) shares this function's
+// Algorithm-2 frame verbatim; apply frame fixes to both (see the note
+// there).
 func SolveScratch(p Problem, sc *Scratch) (Solution, error) {
 	if sc == nil {
 		sc = &Scratch{}

@@ -20,12 +20,34 @@ func Geom(L, U, x float64) []float64 {
 // GeomAppend is Geom appending onto dst (usually dst[:0] of a reused
 // buffer), so hot callers rebuild their grids without allocating.
 // Invalid parameters return dst unchanged, mirroring Geom's nil.
+//
+// Elements track the closed form L·x^i instead of drifting with a pure
+// running product: repeated multiplication loses up to one ulp per
+// step, so on long grids (the per-probe profit grids reach ~10⁵
+// elements) the stored values disagree with L·x^i by thousands of
+// ulps, RoundDownIdx misclassifies values that are exactly L·x^i, and
+// the last element can land just below U where the closed form clears
+// it. Computing every element with math.Pow restores exactness but is
+// ~30× slower per element, so the builder resynchronizes to the closed
+// form L·math.Pow(x, i) once per 32-element block and multiplies
+// within the block: every element stays within ~32 ulps of the closed
+// form, independent of the index. The monotonicity guard covers
+// adjacent elements rounding onto non-increasing floats.
 func GeomAppend(dst []float64, L, U, x float64) []float64 {
 	if !(L > 0) || !(U >= L) || !(x > 1) {
 		return dst
 	}
+	const resync = 32
 	v := L
-	for {
+	for i := 0; ; i++ {
+		if i%resync == 0 && i > 0 {
+			v = L * math.Pow(x, float64(i))
+		}
+		if i > 0 {
+			if prev := dst[len(dst)-1]; v <= prev {
+				v = math.Nextafter(prev, math.Inf(1))
+			}
+		}
 		dst = append(dst, v)
 		if v >= U {
 			break

@@ -27,4 +27,19 @@ type Scratch struct {
 	denseBits []uint64
 	denseDP   []float64
 	denseSel  []int
+
+	// SolveConv's convolution engine (conv.go): the class grid, the
+	// class-sorted compressible items and their runs, the merge-tree
+	// node arena (convUsed nodes live; pts capacity retained across
+	// solves), the level queues of the balanced merge, the candidate
+	// buffer of one convolution, and the backtracking stack.
+	convGrid  []float64
+	convItems []convItem
+	convRuns  []convRun
+	convNodes []convNode
+	convUsed  int
+	convQueue []int32
+	convNext  []int32
+	convCand  []convPoint
+	convStack [][2]int32
 }

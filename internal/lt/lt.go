@@ -141,6 +141,10 @@ func Estimate(in *moldable.Instance) Result {
 // returned Result.Allot aliases the scratch and is valid until its
 // next use; a nil scratch uses fresh buffers (then the caller owns the
 // result outright).
+//
+// LOCK-STEP: EstimateGridScratch (grid.go) is this matrix search over
+// a candidate-index space; apply search fixes to both (see the note
+// there).
 func EstimateScratch(in *moldable.Instance, sc *Scratch) Result {
 	if sc == nil {
 		sc = &Scratch{}

@@ -216,6 +216,50 @@ func TestRegimeFallback(t *testing.T) {
 	}
 }
 
+// TestRegimeFallbackConv: a runtime pinned to the Conv algorithm on a
+// machine below its m ≥ 40 floor (ISSUE 5: conv's compression classes
+// are inert without at least one wide candidate) must fall back
+// MRT → LT2 on every replan instead of erroring — the same
+// scherr.RegimeError path the FPTAS fallback rides.
+func TestRegimeFallbackConv(t *testing.T) {
+	ctx := context.Background()
+	rt, err := New(Config{M: 32, Policy: ReplanOnEpoch, Algorithm: core.Conv, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := rt.Arrive(ctx, Arrival{T: 0, Job: moldable.Sequential{T: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := findReplan(t, evs)
+	if !rep.Fallback || rep.Algo != "mrt" {
+		t.Fatalf("conv at m=32: algo=%q fallback=%v, want mrt fallback", rep.Algo, rep.Fallback)
+	}
+	if _, err := rt.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if met := rt.Metrics(); met.Fallbacks != 1 || met.Finished != 1 {
+		t.Fatalf("metrics fallbacks=%d finished=%d, want 1, 1", met.Fallbacks, met.Finished)
+	}
+
+	// At m ≥ 40 the pinned algorithm runs in its own regime.
+	rt2, err := New(Config{M: 64, Policy: ReplanOnEpoch, Algorithm: core.Conv, Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err = rt2.Arrive(ctx, Arrival{T: 0, Job: moldable.Sequential{T: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = findReplan(t, evs)
+	if rep.Fallback || rep.Algo != "conv" {
+		t.Fatalf("conv at m=64: algo=%q fallback=%v, want in-regime conv", rep.Algo, rep.Fallback)
+	}
+	if _, err := rt2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func findReplan(t *testing.T, evs []Event) Event {
 	t.Helper()
 	for _, e := range evs {

@@ -72,6 +72,7 @@ const (
 	Alg3   = core.Alg3
 	Linear = core.Linear
 	FPTAS  = core.FPTAS
+	Conv   = core.Conv
 )
 
 // BatchResult is the outcome of one instance in a batch; see

@@ -62,6 +62,52 @@ func TestScheduleStreamPooledScratchIdentical(t *testing.T) {
 	}
 }
 
+// TestScheduleStreamConvPooledScratchIdentical extends the ISSUE-3
+// byte-identity guard to the Conv algorithm (ISSUE 5): concurrent
+// conv-pinned streaming over instances spanning both conv regimes
+// (knapsack m < 32n and compressed-wide m ≥ 32n) must match the
+// unpooled single-call path placement for placement. Under -race (CI)
+// this also proves the convolution engine's per-worker scratch arenas
+// are data-race free.
+func TestScheduleStreamConvPooledScratchIdentical(t *testing.T) {
+	const n = 64
+	ins := make([]*moldable.Instance, n)
+	for i := range ins {
+		// M from 64 to 8192 — always ≥ ConvMinM, both regimes hit.
+		cfg := moldable.GenConfig{N: 4 + i%23, M: 64 << (i % 8), Seed: uint64(7000 + i)}
+		ins[i] = moldable.Random(cfg)
+	}
+	opt := core.Options{Algorithm: core.Conv, Eps: 0.25}
+
+	want := make([]*repro.ScheduleResult, n)
+	for i, in := range ins {
+		s, _, err := core.Schedule(in, opt)
+		if err != nil {
+			t.Fatalf("unpooled #%d: %v", i, err)
+		}
+		want[i] = s
+	}
+
+	c := repro.New(repro.WithEps(0.25), repro.WithAlgorithm(repro.Conv),
+		repro.WithoutResultCache(), repro.WithoutMemoization())
+	defer c.Close()
+	for pass := 0; pass < 3; pass++ {
+		seen := 0
+		for i, r := range c.ScheduleStream(context.Background(), ins) {
+			if r.Err != nil {
+				t.Fatalf("pass %d #%d: %v", pass, i, r.Err)
+			}
+			if r.Schedule.M != want[i].M || !reflect.DeepEqual(r.Schedule.Placements, want[i].Placements) {
+				t.Fatalf("pass %d #%d: pooled conv schedule differs from unpooled", pass, i)
+			}
+			seen++
+		}
+		if seen != n {
+			t.Fatalf("pass %d: stream yielded %d/%d results", pass, seen, n)
+		}
+	}
+}
+
 // TestServiceResultsStableAfterScratchReuse guards the ownership
 // contract at the service boundary: results handed out (and cached)
 // must be clones, not views into a worker's scratch, so later
