@@ -281,7 +281,7 @@ func (c *Client) ScheduleStream(ctx context.Context, ins []*moldable.Instance, o
 					continue
 				}
 				go func(i int, id uint64) {
-					r, ok := c.svc.Wait(id)
+					r, ok := c.svc.Wait(id) //schedlint:ignore ctxflow deliberate: the stream must collect every ticket even after ctx ends (submission is already ctx-bound; a canceled ticket completes promptly)
 					if !ok {
 						// Only possible if the ticket aged out of the
 						// retention window before we collected it.

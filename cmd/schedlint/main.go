@@ -1,0 +1,87 @@
+// Command schedlint runs the repo's custom static-analysis suite (the
+// analyzers in internal/analysis) over the given package patterns and
+// exits non-zero if any diagnostic survives suppression. It is the
+// compile-time enforcement arm of the invariant catalog in DESIGN.md
+// §9: zero-allocation hot paths, epsilon-guarded float→int rounding,
+// context propagation, wire-protocol/doc coherence, Reset completeness,
+// and package documentation.
+//
+// Usage:
+//
+//	go run ./cmd/schedlint ./...
+//	go run ./cmd/schedlint -run hotalloc,fpconv ./internal/fast
+//
+// Findings print as file:line:col: message [analyzer], one per line.
+// Suppress an individual finding with an inline directive carrying a
+// justification:
+//
+//	//schedlint:ignore hotalloc cold fallback path, caller passed nil scratch
+//
+// Unused or malformed directives are themselves diagnostics, so stale
+// suppressions cannot accumulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	listFlag := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-run a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *runFlag != "" {
+		sel, unknown := analysis.ByName(strings.Split(*runFlag, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "schedlint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

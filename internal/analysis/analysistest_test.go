@@ -1,0 +1,180 @@
+package analysis
+
+// The golden-corpus harness: each analyzer runs over a fixture package
+// under testdata/src/<corpus>/ whose sources carry `// want "regexp"`
+// comments marking the diagnostics the analyzer must produce on that
+// line — the same contract as x/tools' analysistest, reimplemented on
+// the local loader so the suite needs no dependency beyond the
+// toolchain. A diagnostic without a matching want, or a want without a
+// matching diagnostic, fails the test.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations from
+// every source file of the corpus package.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for name, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", name, i+1, line)
+			}
+			for _, a := range args {
+				pat, err := strconv.Unquote(a[0])
+				if err != nil {
+					t.Fatalf("%s:%d: unquoting want pattern %s: %v", name, i+1, a[0], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runCorpus loads testdata/src/<corpus> under importPath, runs the
+// analyzers, and checks the diagnostics against the want comments.
+func runCorpus(t *testing.T, analyzers []*Analyzer, corpus, importPath string) {
+	t.Helper()
+	pkgDir, err := filepath.Abs(filepath.Join("testdata", "src", corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(".", pkgDir, importPath)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", corpus, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running on corpus %s: %v", corpus, err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestHotAllocCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{HotAlloc}, "hotalloc", "corpus/internal/hotalloc")
+}
+
+func TestFPConvCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{FPConv}, "fpconv", "corpus/internal/fpconv")
+}
+
+func TestCtxFlowCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{CtxFlow}, "ctxflow", "corpus/internal/ctxflow")
+}
+
+func TestResetCheckCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{ResetCheck}, "resetcheck", "corpus/internal/resetcheck")
+}
+
+func TestWireCodeCorpusScherr(t *testing.T) {
+	ProtocolDocOverride = filepath.Join("testdata", "src", "wirecode", "PROTOCOL.md")
+	defer func() { ProtocolDocOverride = "" }()
+	runCorpus(t, []*Analyzer{WireCode}, "wirecode/scherr", "corpus/internal/scherr")
+}
+
+func TestWireCodeCorpusDaemon(t *testing.T) {
+	ProtocolDocOverride = filepath.Join("testdata", "src", "wirecode", "PROTOCOL.md")
+	defer func() { ProtocolDocOverride = "" }()
+	runCorpus(t, []*Analyzer{WireCode}, "wirecode/daemon", "corpus/cmd/daemon")
+}
+
+func TestPkgDocCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/nodoc", "corpus/internal/nodoc")
+	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/good", "corpus/internal/good")
+	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/cmd", "corpus/cmd/prog")
+}
+
+// TestIgnoreDirectives runs both fpconv and hotalloc so the
+// wrong-analyzer fixture exercises the unused-directive diagnostic: an
+// ignore only counts as stale when the analyzer it names actually ran
+// (so `schedlint -run <subset>` never flags ignores for the analyzers
+// it skipped).
+func TestIgnoreDirectives(t *testing.T) {
+	runCorpus(t, []*Analyzer{FPConv, HotAlloc}, "ignore", "corpus/internal/ignorecorpus")
+}
+
+// TestTreeClean is the dogfood gate: the full schedlint suite must run
+// clean on the repository itself. CI runs the same check via
+// `go run ./cmd/schedlint ./...`; this test keeps `go test ./...`
+// equivalent to the CI gate.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository")
+	}
+	pkgs := loadRepo(t)
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); fix them or add a //schedlint:ignore with justification", len(diags))
+	}
+}
+
+// TestMain keeps the corpus fixtures honest: every corpus directory
+// must be referenced by some test above (guards against orphaned
+// fixtures after a rename).
+func TestCorpusDirsCovered(t *testing.T) {
+	covered := map[string]bool{
+		"hotalloc": true, "fpconv": true, "ctxflow": true,
+		"resetcheck": true, "wirecode": true, "pkgdoc": true,
+		"ignore": true,
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("corpus directory testdata/src/%s has no test driving it", e.Name())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"path"
+	"strings"
+)
+
+// PkgDoc is the analyzer port of the retired scripts/doclint.sh: every
+// internal package must open with a "Package <name> ..." doc comment
+// and every command under cmd/ with a "Command <prog> ..." one. The
+// shell script grepped for the literal comment line; the analyzer
+// checks the parsed doc group on the package clause, so it also accepts
+// a doc comment in a dedicated doc.go and is immune to formatting
+// drift (block comments, build-tag prefixes) that the grep was not.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "internal packages need a 'Package <name>' doc comment; commands need 'Command <prog>'",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) error {
+	pkgPath := pass.Pkg.Path()
+	var want string
+	switch {
+	case strings.Contains(pkgPath, "internal/"):
+		want = "Package " + pass.Pkg.Name()
+	case strings.Contains(pkgPath, "cmd/"):
+		want = "Command " + path.Base(pkgPath)
+	default:
+		return nil
+	}
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), want+" ") {
+			return nil
+		}
+	}
+	pass.Report(pass.Files[0].Package, "package %s has no doc comment starting %q (see DESIGN.md §9, invariant pkgdoc)", pkgPath, want+" ...")
+	return nil
+}

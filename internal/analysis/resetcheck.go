@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ResetCheck guards the reuse discipline of the zero-allocation scratch
+// machinery (PR 3): a Reset method exists so a value can be recycled
+// across scheduling calls, which means Reset must account for every
+// field that can alias or retain memory — slices, maps, and pointers.
+// A field added to the struct but forgotten in Reset leaks state from
+// one call into the next; that bug class is invisible to the unit tests
+// (the first call always passes) and was the root cause of the stale
+// knapsack-pair carryover this PR fixes.
+//
+// The rule is purely structural: for each named struct type with a
+// Reset method declared in the same package, every slice, map, and
+// pointer field must be mentioned (as recv.field) somewhere in the
+// Reset body — truncated, nilled, reassigned, or handed to a helper.
+// Assigning the whole struct (*r = T{}) satisfies all fields at once.
+// Scalar, array, struct, func, chan, and interface fields are exempt:
+// they either cannot retain heap memory across calls or (func/chan/
+// interface) are configuration rather than scratch state.
+var ResetCheck = &Analyzer{
+	Name: "resetcheck",
+	Doc:  "Reset methods must touch every slice, map, and pointer field of their receiver struct",
+	Run:  runResetCheck,
+}
+
+func runResetCheck(pass *Pass) error {
+	structs := map[string]*ast.StructType{}
+	var resets []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "Reset" && d.Recv != nil && d.Body != nil {
+					resets = append(resets, d)
+				}
+			}
+		}
+	}
+	for _, fn := range resets {
+		recvName, typeName := receiverInfo(fn)
+		st, ok := structs[typeName]
+		if !ok {
+			continue // receiver type declared in another file set or not a struct
+		}
+		checkReset(pass, fn, recvName, typeName, st)
+	}
+	return nil
+}
+
+// receiverInfo extracts the receiver variable name and the base type
+// name, unwrapping pointers and generic instantiations (Heap[T]).
+func receiverInfo(fn *ast.FuncDecl) (recvName, typeName string) {
+	field := fn.Recv.List[0]
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return recvName, tt.Name
+		default:
+			return recvName, ""
+		}
+	}
+}
+
+// retentiveFields lists the slice/map/pointer fields of st — the ones
+// Reset is obliged to touch.
+func retentiveFields(st *ast.StructType) []*ast.Ident {
+	var out []*ast.Ident
+	for _, field := range st.Fields.List {
+		if !isRetentiveType(field.Type) {
+			continue
+		}
+		out = append(out, field.Names...) // embedded (unnamed) retentive fields don't occur here
+	}
+	return out
+}
+
+func isRetentiveType(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.ArrayType:
+		return tt.Len == nil // slice, not array
+	case *ast.MapType:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkReset verifies fn mentions each retentive field of st.
+func checkReset(pass *Pass, fn *ast.FuncDecl, recvName, typeName string, st *ast.StructType) {
+	fields := retentiveFields(st)
+	if len(fields) == 0 {
+		return
+	}
+	touched := map[string]bool{}
+	wholeStruct := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && id.Name == recvName {
+				touched[n.Sel.Name] = true
+			}
+		case *ast.AssignStmt:
+			// *r = T{} resets everything at once.
+			for _, lhs := range n.Lhs {
+				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+					if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && id.Name == recvName {
+						wholeStruct = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if wholeStruct {
+		return
+	}
+	for _, f := range fields {
+		if !touched[f.Name] {
+			pass.Report(fn.Pos(), "Reset on %s does not touch field %q (%s retains memory across reuse); truncate, nil, or justify", typeName, f.Name, retentiveKind(fieldType(st, f.Name)))
+		}
+	}
+}
+
+func fieldType(st *ast.StructType, name string) ast.Expr {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return field.Type
+			}
+		}
+	}
+	return nil
+}
+
+func retentiveKind(t ast.Expr) string {
+	switch tt := t.(type) {
+	case *ast.ArrayType:
+		if tt.Len == nil {
+			return "slice"
+		}
+	case *ast.MapType:
+		return "map"
+	case *ast.StarExpr:
+		return "pointer"
+	}
+	return "field"
+}

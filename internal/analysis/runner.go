@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics: findings not covered by a //schedlint:ignore
+// directive, plus a diagnostic for every malformed or unused ignore
+// (a suppression must both parse and suppress something, so stale
+// annotations surface instead of rotting).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignoresByFile := map[string][]*ignoreDirective{}
+	var allIgnores []*ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			igs := parseIgnores(pkg.Fset, f, pkg.Sources[name], func(pos token.Pos, msg string) {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(pos),
+					Analyzer: "schedlint",
+					Message:  msg,
+				})
+			})
+			ignoresByFile[name] = append(ignoresByFile[name], igs...)
+			allIgnores = append(allIgnores, igs...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Dir:         pkg.Dir,
+				ModRoot:     pkg.ModRoot,
+				diagnostics: &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("schedlint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	out := filterSuppressed(diags, ignoresByFile)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, ig := range allIgnores {
+		// An ignore naming only analyzers that did not run this
+		// invocation (e.g. `schedlint -run hotalloc`) is not stale —
+		// skip the unused check unless at least one named analyzer ran.
+		anyRan := false
+		for name := range ig.analyzers {
+			if ran[name] {
+				anyRan = true
+				break
+			}
+		}
+		if anyRan && !ig.used {
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: ig.file, Line: ig.line},
+				Analyzer: "schedlint",
+				Message:  "unused //schedlint:ignore directive (nothing to suppress on this line)",
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+// Package fpconv is the golden corpus for the fpconv analyzer: the
+// PR 5 off-by-one class of unguarded float→int conversions.
+package fpconv
+
+import "math"
+
+func badFloorConv(x float64) int {
+	return int(math.Floor(x)) // want "int conversion of math.Floor"
+}
+
+func badCeilConv(x float64) int64 {
+	return int64(math.Ceil(x)) // want "int conversion of math.Ceil"
+}
+
+func badArithConv(b float64, rho float64) int {
+	return int(b * (1 - rho)) // want "int conversion truncates a float arithmetic expression"
+}
+
+func badQuoConv(n int, eps float64) int {
+	return int(16 * float64(n) / eps) // want "int conversion truncates a float arithmetic expression"
+}
+
+func badFloorArith(p, k float64) float64 {
+	return math.Floor(p / k) // want "math.Floor of a float arithmetic expression"
+}
+
+func badCeilArith(x float64) float64 {
+	return math.Ceil(x * 3) // want "math.Ceil of a float arithmetic expression"
+}
+
+// Accepted patterns.
+
+func okPlainVar(x float64) int {
+	return int(x) // plain variable: no arithmetic to drift
+}
+
+func okGuardedFloor(x float64) int {
+	// the compress.floorInt shape: Floor of a plain variable, guarded
+	// before the conversion.
+	f := math.Floor(x)
+	if x-f >= 1-1e-12 {
+		return int(f) + 1
+	}
+	return int(f)
+}
+
+func okConstantFolded() int {
+	return int(1.5 * 4) // constant expression, evaluated exactly
+}
+
+func okIntArith(a, b int) int {
+	return a * b // integer arithmetic is exact
+}

@@ -1,0 +1,147 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer:
+// every allocation-inducing construct it must flag inside a
+// //sched:hotpath function, and the scratch-backed patterns it must
+// accept.
+package hotalloc
+
+type scratch struct {
+	buf []int
+	m   map[int]int
+}
+
+type tool struct{}
+
+func (tool) work() int { return 0 }
+
+func sink(v any) { _ = v }
+
+//sched:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want "make in hot path allocates"
+}
+
+//sched:hotpath
+func hotNew() *scratch {
+	return new(scratch) // want "new in hot path allocates"
+}
+
+//sched:hotpath
+func hotMapLit() map[int]int {
+	return map[int]int{1: 2} // want "map literal in hot path allocates"
+}
+
+//sched:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2} // want "slice literal in hot path allocates"
+}
+
+//sched:hotpath
+func hotAddrLit() *scratch {
+	return &scratch{} // want "composite literal in hot path escapes"
+}
+
+//sched:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want "closure capturing \"n\" in hot path"
+}
+
+//sched:hotpath
+func hotMethodValue(t tool) func() int {
+	return t.work // want "method value work binds a closure"
+}
+
+//sched:hotpath
+func hotGo() {
+	go hotNew() // want "go statement in hot path"
+}
+
+//sched:hotpath
+func hotDefer() {
+	defer hotNew() // want "defer in hot path"
+}
+
+//sched:hotpath
+func hotAppendFresh(n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		s = append(s, i) // want "append grows a non-scratch slice"
+	}
+	return s
+}
+
+//sched:hotpath
+func hotStringConv(s string) []byte {
+	return []byte(s) // want "string/slice conversion in hot path allocates"
+}
+
+//sched:hotpath
+func hotBoxConv(n int) any {
+	return any(n) // want "conversion to interface boxes a non-pointer int"
+}
+
+//sched:hotpath
+func hotBoxArg(n int) {
+	sink(n) // want "argument boxes a non-pointer int"
+}
+
+//sched:hotpath
+func hotBoxAssign(n int) any {
+	var v any
+	v = n // want "assignment boxes a non-pointer int"
+	return v
+}
+
+//sched:hotpath
+func hotBoxDecl(n int) any {
+	var v any = n // want "declaration boxes a non-pointer int"
+	return v
+}
+
+//sched:hotpath
+func hotBoxReturn(n int) any {
+	return n // want "return boxes a non-pointer int"
+}
+
+// Accepted patterns: scratch-backed appends and pointer interfaces.
+
+//sched:hotpath
+func (sc *scratch) okFieldAppend(n int) {
+	sc.buf = sc.buf[:0]
+	for i := 0; i < n; i++ {
+		sc.buf = append(sc.buf, i)
+	}
+}
+
+//sched:hotpath
+func okParamAppend(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+//sched:hotpath
+func okDerivedAppend(dst []int) []int {
+	tmp := dst[:0]
+	tmp = append(tmp, 1)
+	return tmp
+}
+
+//sched:hotpath
+func okPointerInterface(sc *scratch) any {
+	return sc // pointers fit the interface word; no boxing
+}
+
+//sched:hotpath
+func okNilInterface() any {
+	return nil
+}
+
+//sched:hotpath
+func okCalledMethod(t tool) int {
+	return t.work() // call position, not a method value
+}
+
+// Unmarked: the same constructs are fine in cold code.
+func coldEverything(n int) []int {
+	s := make([]int, n)
+	s = append(s, n)
+	return s
+}

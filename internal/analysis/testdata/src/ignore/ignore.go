@@ -1,0 +1,27 @@
+// Package ignorecorpus exercises the //schedlint:ignore suppression
+// mechanics: trailing and standalone directives suppress, unused
+// directives are diagnostics, unsuppressed findings survive.
+package ignorecorpus
+
+import "math"
+
+func suppressedTrailing(x, y float64) int {
+	return int(math.Floor(x)) //schedlint:ignore fpconv corpus fixture: suppression under test
+}
+
+func suppressedStandalone(x, y float64) int {
+	//schedlint:ignore fpconv corpus fixture: directive above the offending line
+	return int(math.Floor(x))
+}
+
+func unsuppressed(x, y float64) int {
+	return int(math.Floor(x)) // want "int conversion of math.Floor"
+}
+
+func wrongAnalyzer(x, y float64) int {
+	//schedlint:ignore hotalloc corpus fixture: wrong analyzer, must not suppress fpconv
+	return int(math.Floor(x)) // want "int conversion of math.Floor" "unused //schedlint:ignore"
+}
+
+//schedlint:ignore fpconv corpus fixture: nothing on the next line to suppress
+var clean = 0 // want "unused //schedlint:ignore"

@@ -1,0 +1,4 @@
+// This comment does not start with the required form.
+package main // want "has no doc comment starting \"Command prog"
+
+func main() {}

@@ -1,0 +1,5 @@
+// Package good has the doc comment pkgdoc requires of internal
+// packages.
+package good
+
+func F() {}

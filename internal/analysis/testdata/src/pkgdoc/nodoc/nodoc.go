@@ -1,0 +1,3 @@
+package nodoc // want "has no doc comment starting \"Package nodoc"
+
+func F() {}

@@ -1,0 +1,58 @@
+// Package resetcheck is the golden corpus for the resetcheck analyzer:
+// Reset methods that forget retentive (slice/map/pointer) fields.
+package resetcheck
+
+type leaky struct {
+	buf     []int
+	lookup  map[string]int
+	next    *leaky
+	n       int    // scalar: exempt
+	name    string // scalar: exempt
+	fixed   [4]int // array, not slice: exempt
+	onEvent func() // func: configuration, exempt
+}
+
+func (l *leaky) Reset() { // want "does not touch field \"lookup\"" "does not touch field \"next\""
+	l.buf = l.buf[:0]
+	l.n = 0
+}
+
+type complete struct {
+	buf    []int
+	lookup map[string]int
+	next   *complete
+}
+
+func (c *complete) Reset() {
+	c.buf = c.buf[:0]
+	clear(c.lookup)
+	c.next = nil
+}
+
+type wholesale struct {
+	buf  []int
+	next *wholesale
+}
+
+// Whole-struct assignment resets every field at once.
+func (w *wholesale) Reset() {
+	*w = wholesale{}
+}
+
+type scalarOnly struct {
+	a, b int
+}
+
+func (s *scalarOnly) Reset() { s.a, s.b = 0, 0 }
+
+// helperReset touches a field through a helper call: mentioning the
+// field in any position counts.
+type delegating struct {
+	buf []int
+}
+
+func truncate(s []int) []int { return s[:0] }
+
+func (d *delegating) Reset() {
+	d.buf = truncate(d.buf)
+}

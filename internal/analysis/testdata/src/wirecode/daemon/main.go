@@ -1,0 +1,13 @@
+// Command daemon (fixture) is the golden corpus for wirecode's
+// protocol half: code* constants checked against the fixture
+// PROTOCOL.md's second table (bad_request plus a ghost code).
+package main // want "code \"extra\" is not in the protocol table" "lists \"ghost\" but no constant produces it"
+
+const (
+	codeBadRequest = "bad_request"
+	codeExtra      = "extra" // not documented
+)
+
+func main() {
+	_, _ = codeBadRequest, codeExtra
+}

@@ -1,0 +1,25 @@
+// Package scherr (fixture) is the golden corpus for wirecode's library
+// half: sentinels without an errors.Is branch, constants never
+// returned, and drift against the fixture PROTOCOL.md (which lists
+// foo, bar, and a stale code).
+package scherr
+
+import "errors"
+
+var (
+	ErrFoo = errors.New("foo failure")
+	ErrBar = errors.New("bar failure") // has no errors.Is branch in Code
+)
+
+const (
+	CodeFoo     = "foo"
+	CodeBar     = "bar"
+	CodeMissing = "missing" // never returned, absent from the doc
+)
+
+func Code(err error) string { // want "sentinel ErrBar has no errors.Is branch" "constant CodeMissing is never returned" "code \"missing\" is not in the scherr table" "lists \"stale\" but no constant produces it"
+	if errors.Is(err, ErrFoo) {
+		return CodeFoo
+	}
+	return CodeBar
+}

@@ -43,6 +43,16 @@ func ceilInt(x float64) int {
 	return int(c)
 }
 
+// FloorInt is the exported epsilon-guarded ⌊x⌋ for use outside this
+// package wherever a float expression that is an integer in exact
+// arithmetic must not truncate one short (the schedlint fpconv
+// invariant). It is floorInt verbatim.
+func FloorInt(x float64) int { return floorInt(x) }
+
+// CeilInt is the exported epsilon-guarded ⌈x⌉, the companion of
+// FloorInt for round-up sites.
+func CeilInt(x float64) int { return ceilInt(x) }
+
 // Threshold returns the minimum processor count 1/ρ (rounded up) a job
 // must use for Lemma 4 to apply with factor rho. The quotient is
 // epsilon-guarded: for ρ = 1/k the float64 quotient can land just

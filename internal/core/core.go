@@ -127,7 +127,7 @@ type Report struct {
 // Schedule solves the instance with the selected algorithm; it is
 // ScheduleCtx with a background context.
 func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
-	return ScheduleCtx(context.Background(), in, opt)
+	return ScheduleCtx(context.Background(), in, opt) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // Scratch aggregates the reusable buffers of every algorithm a
@@ -171,6 +171,7 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, opt Options) (*sche
 // next use; Clone to keep it (internal/service does exactly that
 // before caching). A nil scratch uses fresh buffers, making the result
 // caller-owned.
+//sched:hotpath
 func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options, sc *Scratch) (*schedule.Schedule, Report, error) {
 	if opt.Eps == 0 {
 		opt.Eps = 0.1
@@ -182,7 +183,7 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 		return nil, Report{}, scherr.Canceled(err)
 	}
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	start := time.Now()
 	rep := Report{Algorithm: opt.Algorithm, Eps: opt.Eps}
@@ -223,7 +224,7 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 		s, dr, err = fptas.ScheduleScratchCtx(ctx, in, opt.Eps, &sc.FP)
 		rep.Guarantee = 1 + opt.Eps
 	default:
-		return nil, Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
+		return nil, Report{}, fmt.Errorf("core: unknown algorithm %v", algo) //schedlint:ignore hotalloc error path: boxing the bad algorithm tag is fine, the call never schedules
 	}
 	if err != nil {
 		return nil, Report{}, err

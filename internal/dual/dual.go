@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/moldable"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -54,7 +55,7 @@ var ErrNoSchedule = errors.New("dual: algorithm rejected d ≥ OPT; dual guarant
 // Search runs the binary search without cancellation; it is
 // SearchCtx with a background context.
 func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
-	return SearchCtx(context.Background(), algo, omega, eps)
+	return SearchCtx(context.Background(), algo, omega, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // SearchCtx runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.
@@ -129,10 +130,13 @@ func SearchRangeCtx(ctx context.Context, algo Algorithm, lo, hi moldable.Time, e
 }
 
 // Iterations returns the number of probes Search will use for the given
-// eps and guarantee c: ⌈log2(c/eps)⌉ + 1.
+// eps and guarantee c: ⌈log2(c/eps)⌉ + 1. The Ceil is epsilon-guarded:
+// when c/eps is an exact power of two the float64 log lands a few ulps
+// high and an unguarded Ceil would budget a probe too many, making the
+// reported bound disagree with the search's actual trajectory.
 func Iterations(c, eps float64) int {
 	if eps >= c {
 		return 1
 	}
-	return int(math.Ceil(math.Log2(c/eps))) + 1
+	return compress.CeilInt(math.Log2(c/eps)) + 1
 }

@@ -190,7 +190,7 @@ func Fig4(w io.Writer) {
 	}
 	writeTable(w, "interval structure (cnt ≤ (1−ρ)n̄+2 per Eq. 16)",
 		[]string{"i", "α_i", "U_i", "subintervals"}, rows)
-	bound := int(float64(nbar)*(1-rho)) + 2
+	bound := int(float64(nbar)*(1-rho)) + 2 //schedlint:ignore fpconv display-only bound in a report table; an ulp off-by-one changes no scheduling decision
 	fmt.Fprintf(w, "per-interval bound (1−ρ)n̄+2 = %d\n", bound)
 }
 

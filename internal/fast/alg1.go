@@ -53,6 +53,7 @@ func (a *Alg1) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // target d with ρ = ε/6, then build the three-shelf schedule at
 // d′ = (1+4ρ)d (Corollary 10). Compression is used only in the analysis:
 // the schedule itself allots γ_j(d′) processors.
+//sched:hotpath
 func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	return tryCompressibleShelf1(a.In, d, a.Eps/6, a.Scratch, &a.Stats, knapsack.SolveScratch)
@@ -65,11 +66,12 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // optional jobs become knapsack items (compressible ⇔ γ_j(d) ≥ 1/ρ),
 // solve, build the three-shelf schedule at d′ = (1+4ρ)d. SolveConv
 // ignores Problem.NBar, so passing Alg1's bound is harmless there.
+//sched:hotpath
 func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
 	sc *Scratch, stats *Alg1Stats,
 	solve func(knapsack.Problem, *knapsack.Scratch) (knapsack.Solution, error)) (*schedule.Schedule, bool) {
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	dprime := (1 + 4*rho) * d
 	part := &sc.Shelves.Part
@@ -99,7 +101,7 @@ func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
 		if incompTotal < betaMax {
 			betaMax = incompTotal
 		}
-		nbar := int(rho*float64(capacity)) + 2
+		nbar := int(rho*float64(capacity)) + 2 //schedlint:ignore fpconv capacity bound with +2 slack (Eq. 16); the slack absorbs any ulp truncation
 		sol, err := solve(knapsack.Problem{
 			Items:        items,
 			Compressible: comp,
@@ -127,7 +129,7 @@ func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
 // ScheduleAlg1 runs the complete (3/2+eps)-approximation around Alg1,
 // splitting eps between the dual factor and the binary-search slack.
 func ScheduleAlg1(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleAlg1Ctx(context.Background(), in, eps)
+	return ScheduleAlg1Ctx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleAlg1Ctx is ScheduleAlg1 with cancellation, checked between

@@ -68,6 +68,7 @@ type typeKey struct {
 // roundCount rounds a processor count down on the geometric grid when
 // it exceeds b (a package-level helper, not a closure, so the hot path
 // allocates nothing).
+//sched:hotpath
 func roundCount(countGrid []float64, b, g int) int {
 	if g <= b {
 		return g
@@ -80,11 +81,12 @@ func roundCount(countGrid []float64, b, g int) int {
 }
 
 // Try implements one dual round of Algorithm 3.
+//sched:hotpath
 func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	sc := a.Scratch
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	in := a.In
 	delta := a.Eps / 5
@@ -114,7 +116,7 @@ func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 		// jobsByType) instead of nested slices, so the whole pass
 		// reuses four scratch buffers.
 		if sc.typeOf == nil {
-			sc.typeOf = make(map[typeKey]int32)
+			sc.typeOf = make(map[typeKey]int32) //schedlint:ignore hotalloc one-time warm-up growth: guarded so steady-state reuse never re-allocates
 		}
 		typeOf := sc.typeOf
 		clear(typeOf)
@@ -231,6 +233,7 @@ func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 }
 
 // upIdx returns the index of the smallest grid element ≥ v, or -1.
+//sched:hotpath
 func upIdx(g []float64, v float64) int {
 	lo, hi := 0, len(g)-1
 	if len(g) == 0 || v > g[hi] {
@@ -250,7 +253,7 @@ func upIdx(g []float64, v float64) int {
 // ScheduleAlg3 runs the full (3/2+eps)-approximation around Alg3 (heap
 // transformation rules, §4.3).
 func ScheduleAlg3(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleAlg3Ctx(context.Background(), in, eps)
+	return ScheduleAlg3Ctx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleAlg3Ctx is ScheduleAlg3 with cancellation, checked between
@@ -261,7 +264,7 @@ func ScheduleAlg3Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*
 
 // ScheduleLinear runs the §4.3.3 linear-time variant (bucketed rules).
 func ScheduleLinear(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleLinearCtx(context.Background(), in, eps)
+	return ScheduleLinearCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleLinearCtx is ScheduleLinear with cancellation, checked

@@ -105,6 +105,7 @@ func (a *Conv) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // Try implements one dual round: the shared Alg1-shape round
 // (tryCompressibleShelf1) with knapsack.SolveConvScratch as the
 // shelf-1 engine.
+//sched:hotpath
 func (a *Conv) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	return tryCompressibleShelf1(a.In, d, a.Eps/6, a.Scratch, &a.Stats, knapsack.SolveConvScratch)
@@ -125,6 +126,7 @@ func (a *convWide) Guarantee() float64 { return 1.5 }
 // every integer in [1, b̃), then the geometric integer grid from b̃ to m
 // with step ⌈g/(2·convRho)⌉, ending exactly at m. Rebuilt only when m
 // changes; Conv runs touch the job oracle only at these counts.
+//sched:hotpath
 func (sc *Scratch) convCands(m int) []int {
 	if sc.cwM == m && len(sc.cwCands) > 0 {
 		return sc.cwCands
@@ -147,12 +149,13 @@ func (sc *Scratch) convCands(m int) []int {
 // t_j ≤ (1+ε̃)d, compresses wide allotments by ρ, and schedules all
 // jobs at time zero; it rejects iff some job cannot meet the target on
 // m processors or the compressed total exceeds m.
+//sched:hotpath
 func (a *convWide) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	t := (1 + 0.25) * d // ε̃ = 1/4
 	in := a.In
 	sc := a.Scratch
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	cands := sc.convCands(in.M)
 	s := sc.cwSched.Spare(in.M)
@@ -197,7 +200,7 @@ func (a *convWide) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // Conv duals, splitting eps between the dual factor and the search
 // slack.
 func ScheduleConv(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleConvCtx(context.Background(), in, eps)
+	return ScheduleConvCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleConvCtx is ScheduleConv with cancellation, checked between

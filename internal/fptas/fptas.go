@@ -11,7 +11,6 @@ package fptas
 
 import (
 	"context"
-	"math"
 
 	"repro/internal/compress"
 	"repro/internal/dual"
@@ -60,6 +59,7 @@ func (a *Dual) Guarantee() float64 { return 1 + a.Eps }
 // Try allots γ_j((1+ε)d) processors to every job and schedules all jobs
 // at time zero. It rejects iff some job cannot meet (1+ε)d on m
 // processors or the total allotment exceeds m.
+//sched:hotpath
 func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	t := (1 + a.Eps) * d
 	in := a.In
@@ -88,9 +88,13 @@ func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 }
 
 // MinM returns the least m for which Schedule can certify a (1+eps)
-// guarantee on n jobs: the dual uses ε/2 and needs m ≥ 8n/(ε/2).
+// guarantee on n jobs: the dual uses ε/2 and needs m ≥ 8n/(ε/2). The
+// quotient is epsilon-guarded: for eps values like 0.1 the float64
+// result of 16n/ε lands a few ulps above the exact integer, and an
+// unguarded Ceil would demand one machine too many — misclassifying
+// exact-boundary fleets into the (3/2+ε) regime.
 func MinM(n int, eps float64) int {
-	return int(math.Ceil(16 * float64(n) / eps))
+	return compress.CeilInt(16 * float64(n) / eps)
 }
 
 // Schedule runs the full FPTAS: Ludwig–Tiwari estimation followed by the
@@ -100,7 +104,7 @@ func MinM(n int, eps float64) int {
 // algorithms in that regime; see §3.2 and DESIGN.md §3 on the
 // Jansen–Thöle substitution).
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleCtx(context.Background(), in, eps)
+	return ScheduleCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleCtx is Schedule with cancellation, checked between dual

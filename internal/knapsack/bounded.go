@@ -107,7 +107,7 @@ func SolveBoundedScratch(types []Type, C int, rhoFull, alphaMin, betaMax float64
 	if nbar <= 0 {
 		// every compressible item (container) has size ≥ alphaMin
 		if alphaMin > 0 {
-			nbar = int(float64(C)/alphaMin) + 1
+			nbar = int(float64(C)/alphaMin) + 1 //schedlint:ignore fpconv upper bound with +1 slack; truncating an ulp low still covers every item
 		} else {
 			nbar = 1
 		}

@@ -259,6 +259,7 @@ func SolveConvScratch(p Problem, sc *Scratch) (Solution, error) {
 // newConvNode allocates a merge-tree node from the scratch arena,
 // reusing retained point capacity. Callers must not hold *convNode
 // pointers across calls — the arena may grow.
+//sched:hotpath
 func (sc *Scratch) newConvNode() int32 {
 	if sc.convUsed == len(sc.convNodes) {
 		sc.convNodes = append(sc.convNodes, convNode{})
@@ -274,6 +275,7 @@ func (sc *Scratch) newConvNode() int32 {
 // builds each class's concave prefix staircase, and combines the
 // classes in a balanced merge tree. Returns the root node index, or -1
 // when no compressible item can contribute.
+//sched:hotpath
 func (sc *Scratch) buildConvProfile(p *Problem, comp []int, rho, cap float64, stats *Stats) int32 {
 	sc.convUsed = 0
 	items := sc.convItems[:0]
@@ -373,6 +375,7 @@ func (sc *Scratch) buildConvProfile(p *Problem, comp []int, rho, cap float64, st
 // improving frontier. Children are frontier-pruned already, which is
 // lossless here: a parent sum through a dominated child point is
 // itself dominated by the sum through the dominating one.
+//sched:hotpath
 func (sc *Scratch) mergeConv(a, b int32, cap float64) int32 {
 	nid := sc.newConvNode()
 	// Re-read child slices after the arena may have grown.
@@ -412,6 +415,7 @@ func (sc *Scratch) mergeConv(a, b int32, cap float64) int32 {
 // convBest returns the maximum profile profit with size ≤ cap and the
 // index of the point attaining it (-1 when even the origin exceeds
 // cap, which only happens for cap < 0).
+//sched:hotpath
 func (sc *Scratch) convBest(root int32, cap float64) (float64, int32) {
 	pts := sc.convNodes[root].pts
 	lo, hi := -1, len(pts)-1
@@ -433,6 +437,7 @@ func (sc *Scratch) convBest(root int32, cap float64) (float64, int32) {
 // leaves, appending the selected item IDs and accumulating the
 // compressed size, without recursion or allocation (explicit stack in
 // the scratch).
+//sched:hotpath
 func (sc *Scratch) backtrackConv(p *Problem, root, pt int32, sol *Solution) {
 	stack := append(sc.convStack[:0], [2]int32{root, pt})
 	for len(stack) > 0 {

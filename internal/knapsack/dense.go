@@ -25,9 +25,10 @@ func SolveDense(items []Item, C int) ([]int, float64) {
 // decision bitsets and DP row are reused (as one flat allocation), so
 // a warm Scratch runs the DP allocation-free. The returned selection
 // aliases the scratch. A nil scratch uses fresh buffers.
+//sched:hotpath
 func SolveDenseScratch(items []Item, C int, sc *Scratch) ([]int, float64) {
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	if C < 0 {
 		return nil, 0

@@ -30,7 +30,7 @@ func SolveEpsApprox(items []Item, C int, eps float64) ([]int, float64) {
 		return nil, 0
 	}
 	K := eps * pmax / float64(n)
-	scale := func(p float64) int { return int(math.Floor(p / K)) }
+	scale := func(p float64) int { return int(math.Floor(p / K)) } //schedlint:ignore fpconv the floor direction IS the FPTAS rounding; K is not commensurate with profits, so there is no exact-integer boundary to guard
 	maxP := 0
 	for _, it := range items {
 		if it.Size <= C {

@@ -33,6 +33,7 @@ func Geom(L, U, x float64) []float64 {
 // within the block: every element stays within ~32 ulps of the closed
 // form, independent of the index. The monotonicity guard covers
 // adjacent elements rounding onto non-increasing floats.
+//sched:hotpath
 func GeomAppend(dst []float64, L, U, x float64) []float64 {
 	if !(L > 0) || !(U >= L) || !(x > 1) {
 		return dst
@@ -59,6 +60,7 @@ func GeomAppend(dst []float64, L, U, x float64) []float64 {
 
 // RoundDownIdx returns the index of the largest grid element ≤ a, or -1
 // when a is below the first element (gˇr undefined).
+//sched:hotpath
 func RoundDownIdx(g []float64, a float64) int {
 	lo, hi := 0, len(g)-1
 	if len(g) == 0 || a < g[0] {

@@ -35,6 +35,7 @@ func NewPairList() *PairList {
 func (l *PairList) Reset() {
 	l.arena = append(l.arena[:0], pairNode{0, 0, -1, -1})
 	l.frontier = append(l.frontier[:0], 0)
+	l.scratch = l.scratch[:0]
 }
 
 // Len returns the current frontier length.
@@ -47,6 +48,7 @@ func (l *PairList) Pairs() int { return len(l.arena) }
 // passed through norm (nil for identity), which must be monotone
 // non-decreasing; sizes exceeding cap are discarded. item is an opaque
 // tag returned by Backtrack.
+//sched:hotpath
 func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) float64) {
 	// Non-positive-profit items never help (we maximize and the empty
 	// selection is always available); oversized items never fit.
@@ -59,7 +61,7 @@ func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) f
 	// order, keeping only pairs that strictly improve profit.
 	oi := 0 // index into old (unshifted)
 	bestProfit := -1.0
-	push := func(idx int32) {
+	push := func(idx int32) { //schedlint:ignore hotalloc non-escaping closure: captures only l and locals, stays on the stack (proven by the zero-alloc DP benchmarks)
 		n := l.arena[idx]
 		if n.profit > bestProfit {
 			merged = append(merged, idx)
@@ -136,6 +138,7 @@ func (l *PairList) Add(item int, size, profit, cap float64, norm func(float64) f
 // Best returns the maximum profit over frontier pairs with size ≤ cap
 // and the arena node attaining it (-1 when none, profit 0 for the empty
 // selection which always fits cap ≥ 0).
+//sched:hotpath
 func (l *PairList) Best(cap float64) (float64, int32) {
 	// frontier sizes ascending, profits ascending: the answer is the last
 	// pair with size ≤ cap.

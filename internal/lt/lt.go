@@ -58,6 +58,7 @@ type evalResult struct {
 	feasible bool
 }
 
+//sched:hotpath
 func (e evalResult) f(m int) moldable.Time {
 	if !e.feasible {
 		return math.Inf(1)
@@ -65,6 +66,7 @@ func (e evalResult) f(m int) moldable.Time {
 	return math.Max(e.w/moldable.Time(m), e.t)
 }
 
+//sched:hotpath
 func evaluate(in *moldable.Instance, v moldable.Time) evalResult {
 	var res evalResult
 	res.feasible = true
@@ -85,6 +87,7 @@ func evaluate(in *moldable.Instance, v moldable.Time) evalResult {
 // pred reports whether W(v)/m ≤ T(v) at a feasible v — the flip predicate
 // of the matrix search. Infeasible v (some γ undefined) report false, so
 // the predicate stays monotone in v.
+//sched:hotpath
 func pred(in *moldable.Instance, v moldable.Time) bool {
 	e := evaluate(in, v)
 	return e.feasible && e.w/moldable.Time(in.M) <= e.t

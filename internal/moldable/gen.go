@@ -133,7 +133,7 @@ func Planted(cfg PlantedConfig) *PlantedResult {
 		r := rects[best]
 		splitProcs := r.procs >= 2 && (rng.IntN(2) == 0 || r.h <= 0)
 		if splitProcs {
-			lo := int(float64(r.procs) * cfg.MinFrac)
+			lo := int(float64(r.procs) * cfg.MinFrac) //schedlint:ignore fpconv random-instance generator; any rounding yields a valid split
 			if lo < 1 {
 				lo = 1
 			}

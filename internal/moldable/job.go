@@ -94,7 +94,7 @@ func (c Comm) Time(p int) Time {
 	// [1,p] and check the two integer neighbours.
 	qf := math.Sqrt(c.W / c.C)
 	best := math.Inf(1)
-	for _, q := range [...]int{int(math.Floor(qf)), int(math.Ceil(qf)), 1, p} {
+	for _, q := range [...]int{int(math.Floor(qf)), int(math.Ceil(qf)), 1, p} { //schedlint:ignore fpconv probes BOTH integer neighbours of √(W/C), so either rounding of an exact integer is still covered
 		if q < 1 {
 			q = 1
 		}

@@ -56,11 +56,12 @@ type Stats struct {
 func (a *Dual) Guarantee() float64 { return 1.5 }
 
 // Try implements the dual round for target makespan d.
+//sched:hotpath
 func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	sc := a.Scratch
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	in := a.In
 	part := &sc.Shelves.Part
@@ -92,7 +93,7 @@ func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // Schedule runs the full (3/2+eps)-approximation: Ludwig–Tiwari
 // estimation plus the dual binary search with slack eps.
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleCtx(context.Background(), in, eps)
+	return ScheduleCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
 }
 
 // ScheduleCtx is Schedule with cancellation, checked between dual

@@ -182,6 +182,9 @@ func (rt *runtime) Reset() {
 	rt.epochOpen = 0
 	rt.epochMinLen = rt.cfg.EpochMin
 	rt.events = rt.events[:0]
+	rt.pjobs = rt.pjobs[:0]
+	rt.pidx = rt.pidx[:0]
+	rt.rig = rt.rig[:0]
 	rt.met = Metrics{}
 	rt.waitSum, rt.flowSum, rt.maxFlow, rt.maxFinish = 0, 0, 0, 0
 	rt.drained = false
@@ -205,10 +208,12 @@ func (rt *runtime) planFail(err error) error {
 	return rt.fail(err)
 }
 
+//sched:hotpath
 func (rt *runtime) emit(e Event) { rt.events = append(rt.events, e) }
 
 // onFinish records a completion (capacity already released by the
 // machine) and emits its event.
+//sched:hotpath
 func (rt *runtime) onFinish(r sim.Running) {
 	rt.finishT[r.Job] = r.Finish
 	rt.finished++
@@ -226,6 +231,7 @@ func (rt *runtime) onFinish(r sim.Running) {
 // dispatch starts planned jobs work-conservingly: strictly in plan
 // order, each as soon as its processors are free (never skipping ahead
 // past a wider job — the discipline of sim's WorkConserving replay).
+//sched:hotpath
 func (rt *runtime) dispatch() {
 	for rt.plan.Len() > 0 {
 		p := rt.plan.Min()
@@ -247,6 +253,7 @@ func (rt *runtime) dispatch() {
 // only, with a non-empty pending set, a drained machine, and an empty
 // dispatch queue — no earlier than the epoch's minimum length after it
 // opened (the doubling rule).
+//sched:hotpath
 func (rt *runtime) epochClose() (moldable.Time, bool) {
 	if rt.cfg.Policy != ReplanOnEpoch || len(rt.pending) == 0 ||
 		rt.mach.Busy() > 0 || rt.plan.Len() > 0 {
@@ -261,6 +268,7 @@ func (rt *runtime) epochClose() (moldable.Time, bool) {
 
 // advance processes every machine event with time ≤ t — completions and
 // epoch closures, interleaved in time order — then moves the clock to t.
+//sched:hotpath
 func (rt *runtime) advance(t moldable.Time) error {
 	// The two inner event sources are mutually exclusive: epochClose
 	// requires an idle machine, NextFinish a busy one. So each pass

@@ -31,8 +31,8 @@ func Gantt(s *Schedule, width int) string {
 		rows[q] = []byte(strings.Repeat(".", width))
 	}
 	for _, p := range sc.Placements {
-		lo := int(p.Start * scale)
-		hi := int(p.End() * scale)
+		lo := int(p.Start * scale) //schedlint:ignore fpconv ASCII-art column index; off-by-one moves a glyph, not a schedule
+		hi := int(p.End() * scale) //schedlint:ignore fpconv ASCII-art column index; clamped to [lo+1, width] below
 		if hi <= lo {
 			hi = lo + 1
 		}

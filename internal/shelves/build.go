@@ -137,6 +137,7 @@ type builder struct {
 }
 
 // pushC stores a category-C entry: exact heap or rounded bucket.
+//sched:hotpath
 func (b *builder) pushC(e catCEntry) {
 	if b.opt.Buckets {
 		i := knapsack.RoundDownIdx(b.sc.grid, e.dur)
@@ -152,6 +153,7 @@ func (b *builder) pushC(e catCEntry) {
 }
 
 // popMinC removes a minimum-key category-C entry.
+//sched:hotpath
 func (b *builder) popMinC() (catCEntry, bool) {
 	if b.opt.Buckets {
 		for i := range b.sc.buckets {
@@ -171,6 +173,7 @@ func (b *builder) popMinC() (catCEntry, bool) {
 
 // classify admits a job into shelf S1, immediately applying rules (i)
 // and (ii). procs is the job's shelf-1 processor count, dur its time.
+//sched:hotpath
 func (b *builder) classify(j, procs int, dur moldable.Time) {
 	switch {
 	case dur <= 0.75*b.tau && procs > 1:
@@ -228,9 +231,10 @@ func Build(in *moldable.Instance, tau moldable.Time, shelf1 []int, opt Options) 
 // allocation-free, with the produced schedule owned by the scratch
 // (valid until the next accepted build; Clone to keep it). A nil
 // scratch uses fresh buffers, making the schedule caller-owned.
+//sched:hotpath
 func BuildScratch(res *Result, in *moldable.Instance, tau moldable.Time, shelf1 []int, opt Options, sc *Scratch) bool {
 	if sc == nil {
-		sc = &Scratch{}
+		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
 	}
 	m := in.M
 	*res = Result{}
@@ -271,7 +275,7 @@ func BuildScratch(res *Result, in *moldable.Instance, tau moldable.Time, shelf1 
 		}
 		sc.grid = knapsack.GeomAppend(sc.grid[:0], tau/2, tau, ratio)
 		if cap(sc.buckets) < len(sc.grid) {
-			sc.buckets = make([][]catCEntry, len(sc.grid))
+			sc.buckets = make([][]catCEntry, len(sc.grid)) //schedlint:ignore hotalloc one-time warm-up growth: guarded so steady-state reuse never re-allocates
 		}
 		sc.buckets = sc.buckets[:len(sc.grid)]
 		for i := range sc.buckets {
