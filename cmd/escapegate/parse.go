@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// declAsFunc narrows a declaration to a body-bearing function.
+func declAsFunc(decl ast.Decl) (*ast.FuncDecl, bool) {
+	fd, ok := decl.(*ast.FuncDecl)
+	return fd, ok && fd.Body != nil
+}
+
+// qualName renders a function's baseline key the way the compiler
+// names it in inline diagnostics: F, T.M, or (*T).M.
+func qualName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := false
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = true
+		t = se.X
+	}
+	// Strip type parameters of a generic receiver: T[P] names as T.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if ix, ok := t.(*ast.IndexListExpr); ok {
+		t = ix.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if star {
+		return "(*" + name + ")." + fd.Name.Name
+	}
+	return name + "." + fd.Name.Name
+}
+
+// escEvent is one parsed compiler diagnostic.
+type escEvent struct {
+	file string // as printed (module-root-relative under `go build ./...`)
+	line int
+	col  int
+	msg  string
+	// kind: escape ("... escapes to heap" / "moved to heap ...") or
+	// inline verdict for the function declared at this position.
+	isEscape  bool
+	isInline  bool
+	canInline bool
+	funcName  string // inline verdicts: the function the compiler named
+}
+
+var (
+	diagRe      = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.*)$`)
+	canInlRe    = regexp.MustCompile(`^can inline ([^ ]+)`)
+	cannotInlRe = regexp.MustCompile(`^cannot inline ([^ ]+):`)
+)
+
+// parseEscapeOutput extracts escape and inlining events from a
+// `go build -gcflags=-m=2` transcript. Flow-explanation lines (message
+// starting with whitespace) and `# package` headers are skipped. The
+// compiler prints each escape twice — once with a trailing colon
+// introducing the flow detail, once bare — so events are deduplicated
+// by position and normalized message.
+func parseEscapeOutput(transcript string) []escEvent {
+	var events []escEvent
+	seen := map[string]bool{}
+	for _, line := range strings.Split(transcript, "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue // "# pkg" headers, blank lines
+		}
+		msg := m[4]
+		if msg == "" || msg[0] == ' ' || msg[0] == '\t' {
+			continue // flow detail ("  flow: ...", "    from ...")
+		}
+		ev := escEvent{file: m[1], msg: strings.TrimSuffix(msg, ":")}
+		ev.line, _ = strconv.Atoi(m[2])
+		ev.col, _ = strconv.Atoi(m[3])
+		switch {
+		case strings.Contains(ev.msg, "escapes to heap"),
+			strings.Contains(ev.msg, "moved to heap"):
+			ev.isEscape = true
+		case canInlRe.MatchString(ev.msg):
+			ev.isInline = true
+			ev.canInline = true
+			ev.funcName = canInlRe.FindStringSubmatch(ev.msg)[1]
+		case cannotInlRe.MatchString(ev.msg):
+			ev.isInline = true
+			ev.funcName = cannotInlRe.FindStringSubmatch(ev.msg)[1]
+		default:
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", ev.file, ev.line, ev.col, ev.msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		events = append(events, ev)
+	}
+	return events
+}
+
+// attribute assigns events to hot-path function spans: escapes by
+// file + line containment (generic instantiations print positions in
+// other files, which simply never match a span), inline verdicts by
+// the declaration line. Returns the baseline function map.
+func attribute(spans []span, events []escEvent) map[string]FuncFacts {
+	funcs := map[string]FuncFacts{}
+	for _, s := range spans {
+		funcs[s.key()] = FuncFacts{}
+	}
+	for _, ev := range events {
+		for _, s := range spans {
+			if ev.file != s.file {
+				continue
+			}
+			facts := funcs[s.key()]
+			switch {
+			case ev.isEscape && ev.line >= s.start && ev.line <= s.end:
+				if facts.Escapes == nil {
+					facts.Escapes = map[string]int{}
+				}
+				facts.Escapes[ev.msg]++
+			case ev.isInline && ev.line == s.start:
+				facts.Inline = ev.canInline
+			default:
+				continue
+			}
+			funcs[s.key()] = facts
+		}
+	}
+	return funcs
+}
+
+// compare gates the current facts against the baseline. Failures:
+// a new escape message, more occurrences of a known one, an inlinable
+// function that stopped inlining, or a baseline function that
+// disappeared. New functions are gated against an empty baseline.
+// Escapes that vanished or functions that became inlinable only
+// mean the baseline is stale-but-safe; they pass (refresh with -out
+// when convenient).
+func compare(base, cur Report) []string {
+	var failures []string
+	for key, facts := range cur.Functions {
+		bf, ok := base.Functions[key]
+		if !ok {
+			bf = FuncFacts{Inline: facts.Inline} // new function: empty escape baseline
+		}
+		var msgs []string
+		for msg := range facts.Escapes {
+			msgs = append(msgs, msg)
+		}
+		sort.Strings(msgs)
+		for _, msg := range msgs {
+			n, bn := facts.Escapes[msg], bf.Escapes[msg]
+			switch {
+			case bn == 0:
+				failures = append(failures, fmt.Sprintf("%s: new heap escape: %s", key, msg))
+			case n > bn:
+				failures = append(failures, fmt.Sprintf("%s: %q now occurs %d× (baseline %d×)", key, msg, n, bn))
+			}
+		}
+		if ok && bf.Inline && !facts.Inline {
+			failures = append(failures, fmt.Sprintf("%s: no longer inlinable (baseline says it was)", key))
+		}
+	}
+	var gone []string
+	for key := range base.Functions {
+		if _, ok := cur.Functions[key]; !ok {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		failures = append(failures, fmt.Sprintf("%s: in baseline but not in the tree (renamed or de-annotated?)", key))
+	}
+	sort.Strings(failures)
+	return failures
+}

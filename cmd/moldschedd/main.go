@@ -169,7 +169,7 @@ func wireEvents(evs []online.Event) []wireEvent {
 // writer serializes concurrent response emission onto stdout.
 type writer struct {
 	mu  sync.Mutex
-	enc *json.Encoder
+	enc *json.Encoder //sched:guardedby mu
 }
 
 func (w *writer) send(r response) {

@@ -4,16 +4,22 @@
 // compile-time enforcement arm of the invariant catalog in DESIGN.md
 // §9: zero-allocation hot paths, epsilon-guarded float→int rounding,
 // context propagation, wire-protocol/doc coherence, Reset completeness,
-// and package documentation.
+// package documentation, scratch-buffer ownership (scratchown), mutex
+// discipline on //sched:guardedby fields (lockguard), and goroutine
+// join paths (goroleak).
 //
 // Usage:
 //
 //	go run ./cmd/schedlint ./...
 //	go run ./cmd/schedlint -run hotalloc,fpconv ./internal/fast
 //
-// Findings print as file:line:col: message [analyzer], one per line.
-// Suppress an individual finding with an inline directive carrying a
-// justification:
+// Findings print as file:line:col: message [analyzer], one per line;
+// -json switches to one JSON object per line
+// ({"file","line","col","analyzer","message"}) for toolchain
+// integration — CI pairs the default format with a GitHub Actions
+// problem matcher (.github/schedlint-problem-matcher.json) so findings
+// annotate the diff. Suppress an individual finding with an inline
+// directive carrying a justification:
 //
 //	//schedlint:ignore hotalloc cold fallback path, caller passed nil scratch
 //
@@ -22,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +40,9 @@ import (
 func main() {
 	runFlag := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit one JSON diagnostic per line instead of the human format")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-run a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-run a,b] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,7 +85,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonFlag {
+			// One object per line: trivially greppable, and the shape
+			// GitHub's problem-matcher JSON schema can also consume.
+			enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			continue
+		}
 		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
 	}
 	if len(diags) > 0 {

@@ -102,21 +102,43 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // reachability meta-test.
 const hotpathDirective = "//sched:hotpath"
 
-// HasHotpathDirective reports whether the function declaration carries
-// the //sched:hotpath directive in its doc comment group.
-func HasHotpathDirective(fn *ast.FuncDecl) bool {
+// ownsResultDirective marks a function that intentionally hands out
+// scratch-owned storage (views into a *Scratch/arena buffer), whether
+// by returning it or by publishing it through an out-parameter: the
+// documented PR 3 contract "result valid until the scratch's next use;
+// Clone to keep it". The scratchown analyzer suppresses its escape
+// diagnostics on such functions — and, keeping the claim honest, flags
+// the directive when the function never actually hands out a
+// scratch-derived value.
+const ownsResultDirective = "//sched:owns-result"
+
+// hasFuncDirective reports whether the function declaration carries the
+// given //sched:* directive in its doc comment group.
+func hasFuncDirective(fn *ast.FuncDecl, directive string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.HasPrefix(c.Text, hotpathDirective) {
-			rest := strings.TrimPrefix(c.Text, hotpathDirective)
+		if strings.HasPrefix(c.Text, directive) {
+			rest := strings.TrimPrefix(c.Text, directive)
 			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// HasHotpathDirective reports whether the function declaration carries
+// the //sched:hotpath directive in its doc comment group.
+func HasHotpathDirective(fn *ast.FuncDecl) bool {
+	return hasFuncDirective(fn, hotpathDirective)
+}
+
+// HasOwnsResultDirective reports whether the function declaration
+// carries the //sched:owns-result directive in its doc comment group.
+func HasOwnsResultDirective(fn *ast.FuncDecl) bool {
+	return hasFuncDirective(fn, ownsResultDirective)
 }
 
 // ignoreDirective records one parsed //schedlint:ignore comment.

@@ -129,6 +129,18 @@ func TestPkgDocCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/cmd", "corpus/cmd/prog")
 }
 
+func TestScratchOwnCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{ScratchOwn}, "scratchown", "corpus/internal/scratchown")
+}
+
+func TestLockGuardCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{LockGuard}, "lockguard", "corpus/internal/lockguard")
+}
+
+func TestGoroLeakCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{GoroLeak}, "goroleak", "corpus/internal/goroleak")
+}
+
 // TestIgnoreDirectives runs both fpconv and hotalloc so the
 // wrong-analyzer fixture exercises the unused-directive diagnostic: an
 // ignore only counts as stale when the analyzer it names actually ran
@@ -166,7 +178,8 @@ func TestCorpusDirsCovered(t *testing.T) {
 	covered := map[string]bool{
 		"hotalloc": true, "fpconv": true, "ctxflow": true,
 		"resetcheck": true, "wirecode": true, "pkgdoc": true,
-		"ignore": true,
+		"ignore": true, "scratchown": true, "lockguard": true,
+		"goroleak": true,
 	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {

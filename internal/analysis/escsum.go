@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Parameter-escape summaries for scratchown: one intra-package
+// interprocedural pass computing, for every function declared in the
+// package, where each parameter may be published. The taint walker
+// consults these at call sites — passing a scratch-derived value to a
+// parameter the callee stores is the same leak as storing it directly,
+// just one frame removed (the seed example: service.run passing an
+// unCloned schedule to finish, which does t.res = r).
+//
+// Targets are parameter indices plus two sentinels:
+//
+//	recvTarget  — the value lands in the method receiver's storage
+//	              (e.g. a cache put: s.m[key] = v); safe at a call
+//	              site whose receiver is itself scratch-derived.
+//	otherTarget — the value lands somewhere unconditionally shared: a
+//	              package-level variable, a channel, or a goroutine
+//	              capture.
+//
+// Stores into plain locals are not escapes (if the local later leaks,
+// the call-site result taint covers it: any call with a tainted
+// argument returns tainted). Stores whose destination is scratch-typed
+// storage are ownership transfers, not leaks. Summaries compose across
+// same-package calls to a fixpoint, so a chain run → finish → helper
+// still resolves.
+const (
+	recvTarget  = -1
+	otherTarget = -2
+)
+
+type escapeSummary struct {
+	nparams  int
+	variadic bool
+	perParam map[int]map[int]bool // param index → set of targets
+}
+
+func (s *escapeSummary) targets(i int) []int {
+	var out []int
+	for t := range s.perParam[i] {
+		out = append(out, t)
+	}
+	return out
+}
+
+// add records "param src escapes to target", reporting whether the
+// summary grew (the fixpoint's change signal).
+func (s *escapeSummary) add(src, target int) bool {
+	if src < 0 {
+		return false // receiver-sourced escapes are not consulted
+	}
+	set := s.perParam[src]
+	if set == nil {
+		set = map[int]bool{}
+		s.perParam[src] = set
+	}
+	if set[target] {
+		return false
+	}
+	set[target] = true
+	return true
+}
+
+// sumFn is one function under summary construction.
+type sumFn struct {
+	decl     *ast.FuncDecl
+	fn       *types.Func
+	paramIdx map[types.Object]int // param/receiver object → index
+	sum      *escapeSummary
+}
+
+func buildEscapeSummaries(pass *Pass) map[*types.Func]*escapeSummary {
+	var fns []*sumFn
+	sums := map[*types.Func]*escapeSummary{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			sf := &sumFn{
+				decl:     fd,
+				fn:       fn,
+				paramIdx: map[types.Object]int{},
+				sum: &escapeSummary{
+					nparams:  sig.Params().Len(),
+					variadic: sig.Variadic(),
+					perParam: map[int]map[int]bool{},
+				},
+			}
+			if r := sig.Recv(); r != nil {
+				sf.paramIdx[r] = recvTarget
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				sf.paramIdx[sig.Params().At(i)] = i
+			}
+			fns = append(fns, sf)
+			sums[fn] = sf.sum
+		}
+	}
+	// Fixpoint: re-summarize every function until no summary grows, so
+	// escapes compose through same-package call chains. Bounded in case
+	// of pathological growth (targets are finite, so this terminates
+	// anyway).
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, sf := range fns {
+			if summarizeFn(pass, sf, sums) {
+				changed = true
+			}
+		}
+		if !changed {
+			return sums
+		}
+	}
+	return sums
+}
+
+// summarizeFn runs one flow-insensitive pass over sf's body, recording
+// parameter escapes into sf.sum. Returns whether the summary grew.
+func summarizeFn(pass *Pass, sf *sumFn, sums map[*types.Func]*escapeSummary) bool {
+	w := &sumWalker{pass: pass, sf: sf, sums: sums,
+		roots: map[types.Object]map[int]bool{}}
+	for obj, idx := range sf.paramIdx {
+		w.roots[obj] = map[int]bool{idx: true}
+	}
+	// Two forward passes propagate roots through locals assigned before
+	// use in loops; escapes recorded on either pass are kept.
+	ast.Inspect(sf.decl.Body, w.visit)
+	ast.Inspect(sf.decl.Body, w.visit)
+	return w.grew
+}
+
+type sumWalker struct {
+	pass  *Pass
+	sf    *sumFn
+	sums  map[*types.Func]*escapeSummary
+	roots map[types.Object]map[int]bool // local → may-derive-from params
+	grew  bool
+}
+
+func (w *sumWalker) record(src, target int) {
+	if w.sf.sum.add(src, target) {
+		w.grew = true
+	}
+}
+
+// rootsOf returns the set of parameter indices e may be derived from.
+func (w *sumWalker) rootsOf(e ast.Expr) map[int]bool {
+	e = ast.Unparen(e)
+	if e == nil {
+		return nil
+	}
+	if t := w.pass.TypeOf(e); t != nil && !retentiveType(t) {
+		if _, isTuple := t.(*types.Tuple); !isTuple {
+			return nil
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := w.pass.ObjectOf(e); obj != nil {
+			return w.roots[obj]
+		}
+	case *ast.SelectorExpr:
+		return w.rootsOf(e.X)
+	case *ast.IndexExpr:
+		return w.rootsOf(e.X)
+	case *ast.SliceExpr:
+		return w.rootsOf(e.X)
+	case *ast.StarExpr:
+		return w.rootsOf(e.X)
+	case *ast.TypeAssertExpr:
+		return w.rootsOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.rootsOf(e.X)
+		}
+	case *ast.CompositeLit:
+		out := map[int]bool{}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			for r := range w.rootsOf(el) {
+				out[r] = true
+			}
+		}
+		return out
+	case *ast.CallExpr:
+		// Conservative: a call may return storage derived from any
+		// argument or the receiver.
+		out := map[int]bool{}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if s := w.pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				if launderNames[sel.Sel.Name] {
+					return nil // Clone/Copy return fresh storage
+				}
+				for r := range w.rootsOf(sel.X) {
+					out[r] = true
+				}
+			}
+		}
+		for _, a := range e.Args {
+			for r := range w.rootsOf(a) {
+				out[r] = true
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// storeTargetsOf classifies the destination of a store through base:
+// parameter roots when base is param-derived; otherTarget when its
+// root identifier is a package-level variable; nil (safe) for plain
+// locals.
+func (w *sumWalker) storeTargetsOf(base ast.Expr) map[int]bool {
+	if r := w.rootsOf(base); len(r) > 0 {
+		return r
+	}
+	if obj := rootObject(w.pass, base); obj != nil {
+		if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+			v.Parent() == w.pass.Pkg.Scope() {
+			return map[int]bool{otherTarget: true}
+		}
+	}
+	return nil
+}
+
+// rootObject follows selectors/indexes/derefs to the base identifier's
+// object, or nil.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (w *sumWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(n)
+	case *ast.SendStmt:
+		for r := range w.rootsOf(n.Value) {
+			w.record(r, otherTarget)
+		}
+	case *ast.GoStmt:
+		w.goCapture(n.Call)
+	case *ast.CallExpr:
+		w.call(n)
+	case *ast.RangeStmt:
+		if src := w.rootsOf(n.X); len(src) > 0 {
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := w.pass.ObjectOf(id); obj != nil {
+						w.union(obj, src)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (w *sumWalker) union(obj types.Object, src map[int]bool) {
+	set := w.roots[obj]
+	if set == nil {
+		set = map[int]bool{}
+		w.roots[obj] = set
+	}
+	for r := range src {
+		set[r] = true
+	}
+}
+
+func (w *sumWalker) assign(s *ast.AssignStmt) {
+	assignOne := func(lhs ast.Expr, src map[int]bool) {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				return
+			}
+			if obj := w.pass.ObjectOf(l); obj != nil && len(src) > 0 {
+				w.union(obj, src)
+			}
+		case *ast.SelectorExpr:
+			w.store(l, l.X, src)
+		case *ast.IndexExpr:
+			w.store(l, l.X, src)
+		case *ast.StarExpr:
+			w.store(l, l.X, src)
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			assignOne(lhs, w.rootsOf(s.Rhs[i]))
+		}
+		return
+	}
+	if len(s.Rhs) == 1 {
+		src := w.rootsOf(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			assignOne(lhs, src)
+		}
+	}
+}
+
+// store records the escape of every value root through base's store
+// targets; destinations that are scratch-typed storage are ownership
+// transfers and exempt.
+func (w *sumWalker) store(lhs, base ast.Expr, src map[int]bool) {
+	if len(src) == 0 || isScratchType(w.pass.TypeOf(lhs)) {
+		return
+	}
+	for target := range w.storeTargetsOf(base) {
+		for r := range src {
+			w.record(r, target)
+		}
+	}
+}
+
+// goCapture treats every param-derived variable referenced by a
+// spawned goroutine (or its arguments) as published.
+func (w *sumWalker) goCapture(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				for r := range w.roots[obj] {
+					w.record(r, otherTarget)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call composes the callee's summary: a param-derived argument handed
+// to a publishing parameter escapes to the composition of the callee's
+// target with this call site's receiver/argument roots.
+func (w *sumWalker) call(call *ast.CallExpr) {
+	callee := calleeFunc(w.pass, call)
+	if callee == nil || callee == w.sf.fn {
+		return
+	}
+	sum := w.sums[callee]
+	if sum == nil {
+		return
+	}
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := w.pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+	siteTargets := func(idx int) map[int]bool { // callee target → site targets
+		var e ast.Expr
+		if idx == recvTarget {
+			e = recvExpr
+		} else if idx >= 0 && idx < len(call.Args) {
+			e = call.Args[idx]
+		}
+		if e == nil {
+			return nil
+		}
+		return w.storeTargetsOf(e)
+	}
+	for i, arg := range call.Args {
+		src := w.rootsOf(arg)
+		if len(src) == 0 {
+			continue
+		}
+		pi := i
+		if sum.variadic && pi >= sum.nparams-1 {
+			pi = sum.nparams - 1
+		}
+		for _, target := range sum.targets(pi) {
+			if target == otherTarget {
+				for r := range src {
+					w.record(r, otherTarget)
+				}
+				continue
+			}
+			for st := range siteTargets(target) {
+				for r := range src {
+					w.record(r, st)
+				}
+			}
+		}
+	}
+}

@@ -79,7 +79,7 @@ const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Mo
 // export data, so it works offline against the build cache and needs
 // nothing beyond the standard toolchain.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := goList(dir, append([]string{"-deps", "-export", listFields}, patterns...)...)
+	listed, err := cachedGoList(dir, append([]string{"-deps", "-export", listFields}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +211,7 @@ func LoadDir(moduleDir, pkgDir, importPath string) (*Package, error) {
 	exports := map[string]string{}
 	if len(importSet) > 0 {
 		args := append([]string{"-deps", "-export", listFields}, mapKeys(importSet)...)
-		listed, err := goList(moduleDir, args...)
+		listed, err := cachedGoList(moduleDir, args...)
 		if err != nil {
 			return nil, err
 		}

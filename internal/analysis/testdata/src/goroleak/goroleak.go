@@ -1,0 +1,80 @@
+// Package goroleak is the golden corpus for the goroleak analyzer:
+// every accepted join-path shape, the flagged joinless forms, and the
+// ignore mechanics for an intentional fire-and-forget goroutine.
+package goroleak
+
+import "sync"
+
+func work() {}
+
+// --- flagged ---
+
+func spawnNamed() {
+	go work() // want "named function with no visible join path"
+}
+
+func joinless() {
+	go func() { // want "no statically visible join path"
+		work()
+	}()
+}
+
+// --- accepted join shapes ---
+
+func joinedWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func joinedClose(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+func joinedSend(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+func joinedReceive(done <-chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+func joinedRange(ch chan func()) {
+	go func() {
+		for fn := range ch {
+			fn()
+		}
+	}()
+}
+
+func joinedSelect(a, b chan int) {
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// --- ignore mechanics ---
+
+// An intentional process-lifetime goroutine carries a justified
+// suppression.
+func suppressed() {
+	//schedlint:ignore goroleak process-lifetime metrics flusher, exits with the process
+	go work()
+}
+
+// A suppression with nothing to suppress is itself a diagnostic.
+func stale() {
+	//schedlint:ignore goroleak nothing spawns here
+	work() // want "unused //schedlint:ignore"
+}

@@ -1,0 +1,105 @@
+// Package lockguard is the golden corpus for the lockguard analyzer:
+// reads and writes of //sched:guardedby fields in and out of their
+// mutex's critical section, RWMutex read/write modes, the fresh-local
+// constructor exemption, closures as separate scopes, and directive
+// validation.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //sched:guardedby mu
+}
+
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) pairLocked() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) unlockedRead() int {
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+func (c *counter) unlockedWrite() {
+	c.n++ // want "write to c.n without holding c.mu"
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+// newCounter touches the field through a provably fresh local: storage
+// not yet shared needs no lock.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// A closure is its own scope: holding the lock at creation time does
+// not license the closure's later accesses.
+func (c *counter) closureEscapes() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int { return c.n } // want "read of c.n without holding c.mu"
+}
+
+func (c *counter) closureLocksItself() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int //sched:guardedby mu
+}
+
+func (t *table) read(k int) int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+func (t *table) write(k, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) writeUnderRLock(k int) {
+	t.mu.RLock()
+	t.m[k] = 1 // want "only read-held"
+	t.mu.RUnlock()
+}
+
+// --- directive validation ---
+
+type badGuard struct {
+	x int //sched:guardedby nope // want "not a sync.Mutex or sync.RWMutex field"
+}
+
+type notAMutex struct {
+	guard int
+	y     int //sched:guardedby guard // want "not a sync.Mutex or sync.RWMutex field"
+}
+
+type embeddedGuarded struct {
+	mu        sync.Mutex
+	sync.Once //sched:guardedby mu // want "embedded field is not supported"
+}

@@ -172,6 +172,7 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, opt Options) (*sche
 // before caching). A nil scratch uses fresh buffers, making the result
 // caller-owned.
 //sched:hotpath
+//sched:owns-result
 func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options, sc *Scratch) (*schedule.Schedule, Report, error) {
 	if opt.Eps == 0 {
 		opt.Eps = 0.1

@@ -54,6 +54,7 @@ func (a *Alg1) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // d′ = (1+4ρ)d (Corollary 10). Compression is used only in the analysis:
 // the schedule itself allots γ_j(d′) processors.
 //sched:hotpath
+//sched:owns-result
 func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	return tryCompressibleShelf1(a.In, d, a.Eps/6, a.Scratch, &a.Stats, knapsack.SolveScratch)
@@ -67,6 +68,7 @@ func (a *Alg1) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // solve, build the three-shelf schedule at d′ = (1+4ρ)d. SolveConv
 // ignores Problem.NBar, so passing Alg1's bound is harmless there.
 //sched:hotpath
+//sched:owns-result
 func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
 	sc *Scratch, stats *Alg1Stats,
 	solve func(knapsack.Problem, *knapsack.Scratch) (knapsack.Solution, error)) (*schedule.Schedule, bool) {

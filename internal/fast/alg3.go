@@ -82,6 +82,7 @@ func roundCount(countGrid []float64, b, g int) int {
 
 // Try implements one dual round of Algorithm 3.
 //sched:hotpath
+//sched:owns-result
 func (a *Alg3) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	sc := a.Scratch

@@ -106,6 +106,7 @@ func (a *Conv) Guarantee() float64 { return 1.5 * (1 + 4*a.Eps/6) }
 // (tryCompressibleShelf1) with knapsack.SolveConvScratch as the
 // shelf-1 engine.
 //sched:hotpath
+//sched:owns-result
 func (a *Conv) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	return tryCompressibleShelf1(a.In, d, a.Eps/6, a.Scratch, &a.Stats, knapsack.SolveConvScratch)
@@ -127,6 +128,7 @@ func (a *convWide) Guarantee() float64 { return 1.5 }
 // with step ⌈g/(2·convRho)⌉, ending exactly at m. Rebuilt only when m
 // changes; Conv runs touch the job oracle only at these counts.
 //sched:hotpath
+//sched:owns-result
 func (sc *Scratch) convCands(m int) []int {
 	if sc.cwM == m && len(sc.cwCands) > 0 {
 		return sc.cwCands
@@ -150,6 +152,7 @@ func (sc *Scratch) convCands(m int) []int {
 // jobs at time zero; it rejects iff some job cannot meet the target on
 // m processors or the compressed total exceeds m.
 //sched:hotpath
+//sched:owns-result
 func (a *convWide) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	t := (1 + 0.25) * d // ε̃ = 1/4
 	in := a.In
@@ -214,6 +217,7 @@ func ScheduleConvCtx(ctx context.Context, in *moldable.Instance, eps float64) (*
 // with m < ConvMinM are outside the algorithm's regime and yield an
 // error matching scherr.ErrRegime (use MRT or LT2 there — the online
 // runtime does exactly that).
+//sched:owns-result
 func ScheduleConvScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err

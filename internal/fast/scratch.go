@@ -69,6 +69,7 @@ type Scratch struct {
 // O(n)) need m = O(n), and for larger m the simple FPTAS is both valid
 // and faster. The chosen struct lives in the scratch, so the interface
 // conversion allocates nothing.
+//sched:owns-result
 func (sc *Scratch) dualFor(in *moldable.Instance, mk func(sc *Scratch) dual.Algorithm) dual.Algorithm {
 	if in.M >= 16*in.N() {
 		sc.fp = fptas.Dual{In: in, Eps: 0.5, Scratch: &sc.fpSched}
@@ -77,11 +78,13 @@ func (sc *Scratch) dualFor(in *moldable.Instance, mk func(sc *Scratch) dual.Algo
 	return mk(sc)
 }
 
+//sched:owns-result
 func mkAlg1(sc *Scratch) dual.Algorithm {
 	sc.a1.Scratch = sc
 	return &sc.a1
 }
 
+//sched:owns-result
 func mkAlg3(sc *Scratch) dual.Algorithm {
 	sc.a3.Scratch = sc
 	return &sc.a3
@@ -90,6 +93,7 @@ func mkAlg3(sc *Scratch) dual.Algorithm {
 // ScheduleAlg1ScratchCtx is ScheduleAlg1Ctx drawing every buffer from
 // sc; the returned schedule is owned by the scratch (valid until its
 // next use). A nil scratch uses fresh buffers.
+//sched:owns-result
 func ScheduleAlg1ScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err
@@ -104,6 +108,7 @@ func ScheduleAlg1ScratchCtx(ctx context.Context, in *moldable.Instance, eps floa
 
 // ScheduleAlg3ScratchCtx is ScheduleAlg3Ctx drawing every buffer from
 // sc; see ScheduleAlg1ScratchCtx for the ownership contract.
+//sched:owns-result
 func ScheduleAlg3ScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err
@@ -118,6 +123,7 @@ func ScheduleAlg3ScratchCtx(ctx context.Context, in *moldable.Instance, eps floa
 
 // ScheduleLinearScratchCtx is ScheduleLinearCtx drawing every buffer
 // from sc; see ScheduleAlg1ScratchCtx for the ownership contract.
+//sched:owns-result
 func ScheduleLinearScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, dual.Report{}, err

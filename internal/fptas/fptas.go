@@ -119,6 +119,7 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*sche
 // allocation-free. The returned schedule is then owned by the scratch
 // — valid until its next use; Clone to keep it. A nil scratch uses
 // fresh buffers, making the result caller-owned as before.
+//sched:owns-result
 func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, dual.Report{}, scherr.BadEps("fptas", eps)

@@ -79,6 +79,7 @@ func SolveBounded(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar 
 // warm Scratch makes the call allocation-free, and the returned
 // CountByType aliases the scratch (valid until its next use). A nil
 // scratch uses fresh buffers.
+//sched:owns-result
 func SolveBoundedScratch(types []Type, C int, rhoFull, alphaMin, betaMax float64, nbar int, sc *Scratch) (BoundedSolution, error) {
 	if sc == nil {
 		sc = &Scratch{}

@@ -68,6 +68,7 @@ func Solve(p Problem) (Solution, error) {
 // LOCK-STEP: SolveConvScratch (conv.go) shares this function's
 // Algorithm-2 frame verbatim; apply frame fixes to both (see the note
 // there).
+//sched:owns-result
 func SolveScratch(p Problem, sc *Scratch) (Solution, error) {
 	if sc == nil {
 		sc = &Scratch{}

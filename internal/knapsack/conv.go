@@ -130,6 +130,7 @@ func SolveConv(p Problem) (Solution, error) {
 // engine differs. A fix to the frame in either function must be
 // applied to both; TestSolveConvContract cross-checks them against the
 // same exact optimum.
+//sched:owns-result
 func SolveConvScratch(p Problem, sc *Scratch) (Solution, error) {
 	if sc == nil {
 		sc = &Scratch{}

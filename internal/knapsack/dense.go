@@ -26,6 +26,7 @@ func SolveDense(items []Item, C int) ([]int, float64) {
 // a warm Scratch runs the DP allocation-free. The returned selection
 // aliases the scratch. A nil scratch uses fresh buffers.
 //sched:hotpath
+//sched:owns-result
 func SolveDenseScratch(items []Item, C int, sc *Scratch) ([]int, float64) {
 	if sc == nil {
 		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it

@@ -122,6 +122,7 @@ func EstimateGrid(in *moldable.Instance, cands []int) Result {
 // and all. A fix to the matrix search in either function must be
 // applied to both; TestEstimateGridIdentity pins their equivalence on
 // the full grid.
+//sched:owns-result
 func EstimateGridScratch(in *moldable.Instance, cands []int, sc *Scratch) Result {
 	if sc == nil {
 		sc = &Scratch{}
@@ -277,6 +278,7 @@ func EstimateGridScratch(in *moldable.Instance, cands []int, sc *Scratch) Result
 	return finalizeGrid(in, cands, vhat, predv, rounds, sc)
 }
 
+//sched:owns-result
 func finalizeGrid(in *moldable.Instance, cands []int, vhat, predv moldable.Time, rounds int, sc *Scratch) Result {
 	fh := evaluateGrid(in, cands, vhat).f(in.M)
 	vstar, omega := vhat, fh

@@ -148,6 +148,7 @@ func Estimate(in *moldable.Instance) Result {
 // LOCK-STEP: EstimateGridScratch (grid.go) is this matrix search over
 // a candidate-index space; apply search fixes to both (see the note
 // there).
+//sched:owns-result
 func EstimateScratch(in *moldable.Instance, sc *Scratch) Result {
 	if sc == nil {
 		sc = &Scratch{}
@@ -310,6 +311,7 @@ func EstimateScratch(in *moldable.Instance, sc *Scratch) Result {
 	return finalize(in, vhat, predv, rounds, sc)
 }
 
+//sched:owns-result
 func finalize(in *moldable.Instance, vhat, predv moldable.Time, rounds int, sc *Scratch) Result {
 	fh := evaluate(in, vhat).f(in.M)
 	vstar, omega := vhat, fh

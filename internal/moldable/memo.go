@@ -43,7 +43,7 @@ type Memo struct {
 
 	// Bounded-map path (larger m).
 	mu    sync.RWMutex
-	vals  map[int]Time
+	vals  map[int]Time //sched:guardedby mu
 	bound int
 
 	hits, misses atomic.Int64

@@ -57,6 +57,7 @@ func (a *Dual) Guarantee() float64 { return 1.5 }
 
 // Try implements the dual round for target makespan d.
 //sched:hotpath
+//sched:owns-result
 func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 	a.Stats.Tries++
 	sc := a.Scratch
@@ -105,6 +106,7 @@ func ScheduleCtx(ctx context.Context, in *moldable.Instance, eps float64) (*sche
 // ScheduleScratchCtx is ScheduleCtx drawing every buffer from sc; the
 // returned schedule is then owned by the scratch (valid until its next
 // use). A nil scratch uses fresh buffers.
+//sched:owns-result
 func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, eps float64, sc *Scratch) (*schedule.Schedule, dual.Report, error) {
 	if eps <= 0 || eps > 1 {
 		return nil, dual.Report{}, scherr.BadEps("mrt", eps)

@@ -29,7 +29,7 @@ type Pool struct {
 	// counter passing through zero, which WaitGroup forbids.
 	mu        sync.Mutex
 	cond      sync.Cond
-	inflight  int64
+	inflight  int64 //sched:guardedby mu
 	submitted atomic.Int64
 	completed atomic.Int64
 	closed    atomic.Bool

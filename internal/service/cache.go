@@ -24,7 +24,7 @@ type resultCache struct {
 
 type resultShard struct {
 	mu sync.Mutex
-	m  map[uint64]Result
+	m  map[uint64]Result //sched:guardedby mu
 }
 
 func newResultCache(shards, total int) *resultCache {
@@ -79,14 +79,14 @@ func (c *resultCache) len() int {
 // otherwise pin tens of gigabytes in a long-running daemon).
 type memoRegistry struct {
 	mu     sync.Mutex
-	m      map[uint64]memoEntry
+	m      map[uint64]memoEntry //sched:guardedby mu
 	cap    int
 	budget int64 // max estimated retained bytes
-	bytes  int64 // current estimate
+	bytes  int64 //sched:guardedby mu
 	// Counters of evicted entries, folded into stats() so the aggregate
 	// stays monotone across evictions (the wire protocol promises
 	// cumulative counters).
-	retiredHits, retiredMisses int64
+	retiredHits, retiredMisses int64 //sched:guardedby mu
 }
 
 type memoEntry struct {

@@ -30,8 +30,8 @@ var ErrUnknownSession = errors.New("service: unknown or closed online session")
 type onlineSession struct {
 	mu  sync.Mutex
 	m   int // machine size, for admission-time job validation
-	rt  online.Runtime
-	log []online.Event
+	rt  online.Runtime //sched:guardedby mu
+	log []online.Event //sched:guardedby mu
 }
 
 // OpenOnline creates an online session and returns its ticket.

@@ -232,6 +232,7 @@ func Build(in *moldable.Instance, tau moldable.Time, shelf1 []int, opt Options) 
 // (valid until the next accepted build; Clone to keep it). A nil
 // scratch uses fresh buffers, making the schedule caller-owned.
 //sched:hotpath
+//sched:owns-result
 func BuildScratch(res *Result, in *moldable.Instance, tau moldable.Time, shelf1 []int, opt Options, sc *Scratch) bool {
 	if sc == nil {
 		sc = &Scratch{} //schedlint:ignore hotalloc cold fallback: only taken when the caller passed nil scratch; the warm path (TestScheduleScratchZeroAlloc) never reaches it
