@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lt"
 	"repro/internal/moldable"
+	"repro/internal/netserve"
 	"repro/internal/online"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -29,6 +30,18 @@ var (
 	ErrRegime      = scherr.ErrRegime
 	ErrCanceled    = scherr.ErrCanceled
 	ErrBadEps      = scherr.ErrBadEps
+)
+
+// Remote-serving errors, re-exported from internal/netserve. They only
+// occur on clients built with WithDial:
+//
+//	ErrOverloaded  — the server shed the request (admission budget or
+//	                 tenant quota exhausted)
+//	ErrUnavailable — the backend shard died mid-request, or the
+//	                 connection to the server was lost
+var (
+	ErrOverloaded  = netserve.ErrOverloaded
+	ErrUnavailable = netserve.ErrUnavailable
 )
 
 // RegimeError carries the violated regime bound; see scherr.RegimeError.
@@ -77,6 +90,9 @@ type config struct {
 	// online holds the RunOnline settings (machine size, policy, epoch
 	// rule); the planner algorithm and ε are taken from opt.
 	online online.Config
+	// dial/tenant select the remote transport (WithDial / WithTenant).
+	dial   string
+	tenant string
 }
 
 // Option configures New (all options) or a single call (the per-call
@@ -148,6 +164,24 @@ func WithProbeBudget(n int) Option {
 	return func(c *config) { c.probes = n }
 }
 
+// WithDial routes Schedule, ScheduleStream, RunOnline and StatsCtx over
+// the wire protocol to a moldschedd TCP listener at addr (see
+// docs/PROTOCOL.md §Transport) instead of the in-process service. The
+// connection is dialed lazily on the first remote call and reused; a
+// lost connection surfaces as ErrUnavailable, shed requests as
+// ErrOverloaded. Estimate, Validate and ValidateSchedule stay local —
+// they need no serving stack. Construction-time only.
+func WithDial(addr string) Option {
+	return func(c *config) { c.dial = addr }
+}
+
+// WithTenant declares the tenant id sent in the connection's "hello"
+// (the server's quota-bucket key). Only meaningful with WithDial.
+// Construction-time only.
+func WithTenant(id string) Option {
+	return func(c *config) { c.tenant = id }
+}
+
 // WithMachines sets the machine size m for RunOnline. An arrival
 // stream, unlike an instance, carries no machine — RunOnline errors
 // without this option. Valid at construction and per call.
@@ -193,6 +227,13 @@ type Client struct {
 	// Close never races a Submit onto the already-closed pool (e.g.
 	// after a consumer breaks out of a stream early).
 	streams sync.WaitGroup
+
+	// Remote transport (WithDial): the connection is dialed lazily on
+	// the first remote call and reused for the client's lifetime.
+	dial   string
+	tenant string
+	rmu    sync.Mutex
+	remote *netserve.WireClient //sched:guardedby rmu
 }
 
 // New creates a Client. Options set the pool and cache sizes and the
@@ -202,14 +243,46 @@ func New(opts ...Option) *Client {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Client{svc: service.New(cfg.svc), def: cfg.opt, onl: cfg.online, probes: cfg.probes}
+	return &Client{
+		svc: service.New(cfg.svc), def: cfg.opt, onl: cfg.online,
+		probes: cfg.probes, dial: cfg.dial, tenant: cfg.tenant,
+	}
 }
 
-// Close drains in-flight work and stops the workers. Methods must not
-// be called after Close.
+// Close drains in-flight work, stops the workers, and closes the remote
+// connection (if WithDial was used and a call dialed it). Methods must
+// not be called after Close.
 func (c *Client) Close() {
+	c.rmu.Lock()
+	if c.remote != nil {
+		c.remote.Close() // fails in-flight remote calls promptly
+		c.remote = nil
+	}
+	c.rmu.Unlock()
 	c.streams.Wait()
 	c.svc.Close()
+}
+
+// wire returns the client's remote connection, dialing it (and sending
+// the tenant hello) on first use.
+func (c *Client) wire(ctx context.Context) (*netserve.WireClient, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.remote != nil {
+		return c.remote, nil
+	}
+	wc, err := netserve.Dial(ctx, c.dial)
+	if err != nil {
+		return nil, err
+	}
+	if c.tenant != "" {
+		if err := wc.Hello(ctx, c.tenant); err != nil {
+			wc.Close()
+			return nil, err
+		}
+	}
+	c.remote = wc
+	return wc, nil
 }
 
 // call merges the client defaults with per-call options.
@@ -233,8 +306,32 @@ func (c *Client) mergecall(opts []Option) config {
 // oracles. The instance must not be mutated afterwards.
 func (c *Client) Schedule(ctx context.Context, in *moldable.Instance, opts ...Option) (*ScheduleResult, *Report, error) {
 	opt, _ := c.call(opts)
+	if c.dial != "" {
+		r := c.remoteOne(ctx, in, opt)
+		return r.Schedule, r.Report, r.Err
+	}
 	r := c.svc.DoCtx(ctx, in, opt)
 	return r.Schedule, r.Report, r.Err
+}
+
+// remoteOne runs one instance over the wire: submit (asking for the
+// full schedule), then a blocking result. Transport failures land on
+// Result.Err so stream consumers get the same per-instance accounting
+// as the local path.
+func (c *Client) remoteOne(ctx context.Context, in *moldable.Instance, opt core.Options) Result {
+	wc, err := c.wire(ctx)
+	if err != nil {
+		return Result{Err: err}
+	}
+	id, err := wc.Submit(ctx, in, opt, true)
+	if err != nil {
+		return Result{Err: err}
+	}
+	r, err := wc.Result(ctx, id, true, in)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return r
 }
 
 // ScheduleStream schedules every instance on the client's pool and
@@ -252,6 +349,9 @@ func (c *Client) Schedule(ctx context.Context, in *moldable.Instance, opts ...Op
 // background and released by Close.
 func (c *Client) ScheduleStream(ctx context.Context, ins []*moldable.Instance, opts ...Option) iter.Seq2[int, Result] {
 	opt, _ := c.call(opts)
+	if c.dial != "" {
+		return c.remoteStream(ctx, ins, opt)
+	}
 	return func(yield func(int, Result) bool) {
 		n := len(ins)
 		type completion struct {
@@ -300,6 +400,35 @@ func (c *Client) ScheduleStream(ctx context.Context, ins []*moldable.Instance, o
 	}
 }
 
+// remoteStream is ScheduleStream over the wire: one submit+result pair
+// per instance, concurrently, yielding in completion order. The same
+// contract holds — exactly one Result per instance, early breaks leak
+// nothing (pending collectors drain into the buffered channel and are
+// joined by Close).
+func (c *Client) remoteStream(ctx context.Context, ins []*moldable.Instance, opt core.Options) iter.Seq2[int, Result] {
+	return func(yield func(int, Result) bool) {
+		n := len(ins)
+		type completion struct {
+			i int
+			r Result
+		}
+		ch := make(chan completion, n)
+		for i, in := range ins {
+			c.streams.Add(1)
+			go func(i int, in *moldable.Instance) {
+				defer c.streams.Done()
+				ch <- completion{i, c.remoteOne(ctx, in, opt)}
+			}(i, in)
+		}
+		for done := 0; done < n; done++ {
+			cpl := <-ch
+			if !yield(cpl.i, cpl.r) {
+				return
+			}
+		}
+	}
+}
+
 // RunOnline replays a stream of timestamped job arrivals through the
 // event-driven online runtime (internal/online; DESIGN.md §7): arrivals
 // are accumulated into epochs, each epoch's pending set is replanned
@@ -329,6 +458,9 @@ func (c *Client) RunOnline(ctx context.Context, arrivals iter.Seq[Arrival], opts
 	ocfg := cfg.online
 	ocfg.Algorithm = cfg.opt.Algorithm
 	ocfg.Eps = cfg.opt.Eps
+	if c.dial != "" {
+		return c.remoteOnline(ctx, arrivals, ocfg)
+	}
 	rt, err := online.New(ocfg)
 	if err != nil {
 		return nil, err
@@ -379,6 +511,69 @@ func (c *Client) RunOnline(ctx context.Context, arrivals iter.Seq[Arrival], opts
 	}, nil
 }
 
+// remoteOnline is RunOnline over the wire: the session lives on the
+// server (one shard), arrivals are relayed one request per arrival, and
+// the drain both finishes the run and releases the remote session. The
+// event/error contract matches the local path. Breaking out early
+// leaves the remote session to the server's cleanup (released when this
+// client closes its connection, or reaped when idle).
+func (c *Client) remoteOnline(ctx context.Context, arrivals iter.Seq[Arrival], ocfg online.Config) (iter.Seq2[int, OnlineEvent], error) {
+	wc, err := c.wire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Open synchronously so configuration problems (missing machine
+	// size, bad ε) surface here, before any arrival is consumed.
+	id, err := wc.OpenOnline(ctx, ocfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(int, OnlineEvent) bool) {
+		seq := 0
+		last := moldable.Time(0)
+		emit := func(evs []OnlineEvent) bool {
+			for _, e := range evs {
+				if !yield(seq, e) {
+					return false
+				}
+				seq++
+				last = e.T
+			}
+			return true
+		}
+		fail := func(err error) {
+			yield(seq, OnlineEvent{T: last, Kind: online.EvError, Job: -1, Err: err})
+		}
+		next, stop := iter.Pull(arrivals)
+		defer stop()
+		for {
+			if err := ctx.Err(); err != nil {
+				fail(scherr.Canceled(err))
+				return
+			}
+			a, ok := next()
+			if !ok {
+				break
+			}
+			evs, err := wc.Arrive(ctx, id, a)
+			if !emit(evs) {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+		evs, _, err := wc.Drain(ctx, id)
+		if !emit(evs) {
+			return
+		}
+		if err != nil {
+			fail(err)
+		}
+	}, nil
+}
+
 // Estimate computes the Ludwig–Tiwari estimate ω with ω ≤ OPT ≤ 2ω in
 // O(n log²m), without building a schedule.
 func (c *Client) Estimate(ctx context.Context, in *moldable.Instance) (EstimateResult, error) {
@@ -406,6 +601,21 @@ func (c *Client) ValidateSchedule(ctx context.Context, in *moldable.Instance, s 
 	return schedule.Validate(in, s, schedule.Options{})
 }
 
-// Stats snapshots the client's serving counters (submissions, cache
-// hits, memoized oracle hit rate; see service.Stats).
+// Stats snapshots the local serving counters (submissions, cache hits,
+// memoized oracle hit rate; see service.Stats). On a WithDial client
+// the local stack is idle — use StatsCtx for the server's counters.
 func (c *Client) Stats() service.Stats { return c.svc.Stats() }
+
+// StatsCtx snapshots the serving counters of whichever stack this
+// client actually uses: the remote server's aggregate (WithDial) or the
+// local service's.
+func (c *Client) StatsCtx(ctx context.Context) (service.Stats, error) {
+	if c.dial != "" {
+		wc, err := c.wire(ctx)
+		if err != nil {
+			return service.Stats{}, err
+		}
+		return wc.Stats(ctx)
+	}
+	return c.svc.Stats(), nil
+}

@@ -1,10 +1,29 @@
 // Command moldschedd is the long-running scheduling daemon: a JSON-lines
-// front end over internal/service. It reads one request object per line
-// from stdin and writes one response object per line to stdout, so any
-// process that can speak pipes can drive it:
+// front end over internal/service, speaking the wire protocol of
+// docs/PROTOCOL.md in two transports.
+//
+// By default it reads one request object per line from stdin and writes
+// one response object per line to stdout, so any process that can speak
+// pipes can drive it:
 //
 //	moldschedd < requests.jsonl
 //	mkfifo req && moldschedd < req > resp &
+//
+// With -listen it instead serves the same protocol over TCP, one
+// protocol session per connection, fronting -shards backend scheduler
+// shards routed by instance hash:
+//
+//	moldschedd -listen :7463 -shards 4
+//
+// Network mode adds admission control (-max-inflight; shed requests get
+// the "overloaded" code), per-tenant token-bucket quotas (-quota-rate /
+// -quota-burst, keyed by the connection's "hello" tenant), idle
+// online-session reaping (-idle-session), and an HTTP side (-http) with
+// /healthz, /stats, and the protocol over POST /rpc. A "shutdown"
+// request over TCP ends its own connection only; over stdin it exits
+// the process. See docs/PROTOCOL.md ("Transport") for the full
+// specification and internal/netserve for the implementation shared by
+// both transports.
 //
 // Requests ("op" selects the operation):
 //
@@ -54,423 +73,100 @@
 // Error responses carry a stable "code" alongside the human-readable
 // "error" text, from the typed taxonomy of internal/scherr:
 // "not_monotone", "regime", "canceled", "bad_eps", "internal", plus
-// the protocol-level "bad_request" and "unknown_ticket". Clients
-// should branch on the code, never the text.
+// the protocol-level "bad_request", "unknown_ticket", "overloaded"
+// (admission or quota shed) and "unavailable" (backend shard died).
+// Clients should branch on the code, never the text.
 //
 // See DESIGN.md §5 for the daemon's place in the serving architecture
 // and docs/PROTOCOL.md for the full wire specification.
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"math"
+	"net"
+	"net/http"
 	"os"
-	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/moldable"
-	"repro/internal/online"
-	"repro/internal/scherr"
+	"repro/internal/netserve"
 	"repro/internal/service"
 )
 
-// Protocol-level error codes, complementing the scherr taxonomy.
-const (
-	codeBadRequest    = "bad_request"
-	codeUnknownTicket = "unknown_ticket"
-)
-
-// request is the union of all request shapes.
-type request struct {
-	Op        string          `json:"op"`
-	Tag       string          `json:"tag,omitempty"`
-	ID        uint64          `json:"id,omitempty"`
-	Wait      bool            `json:"wait,omitempty"`
-	Algo      string          `json:"algo,omitempty"`
-	Eps       float64         `json:"eps,omitempty"`
-	Validate  bool            `json:"validate,omitempty"`
-	TimeoutMS float64         `json:"timeout_ms,omitempty"`
-	Instance  json.RawMessage `json:"instance,omitempty"`
-
-	// Online-session fields (open_online / arrive).
-	M         int             `json:"m,omitempty"`
-	Policy    string          `json:"policy,omitempty"`
-	EpochMin  float64         `json:"epoch_min,omitempty"`
-	EpochGrow float64         `json:"epoch_grow,omitempty"`
-	T         float64         `json:"t,omitempty"`
-	Job       json.RawMessage `json:"job,omitempty"`
-}
-
-// response is the union of all response shapes.
-type response struct {
-	Op    string `json:"op"`
-	Tag   string `json:"tag,omitempty"`
-	ID    uint64 `json:"id,omitempty"`
-	Error string `json:"error,omitempty"`
-	Code  string `json:"code,omitempty"` // stable error code (see package comment)
-
-	// result fields
-	Done       *bool         `json:"done,omitempty"`
-	Cached     bool          `json:"cached,omitempty"`
-	Algorithm  string        `json:"algorithm,omitempty"`
-	Makespan   moldable.Time `json:"makespan,omitempty"`
-	LowerBound moldable.Time `json:"lowerbound,omitempty"`
-	Ratio      float64       `json:"ratio,omitempty"`
-	Iterations int           `json:"iterations,omitempty"`
-	ElapsedMS  float64       `json:"elapsed_ms,omitempty"`
-	Allot      []int         `json:"allot,omitempty"`
-
-	// stats payload
-	Stats *service.Stats `json:"stats,omitempty"`
-
-	// online-session payloads
-	Events    []wireEvent `json:"events,omitempty"`
-	MeanWait  float64     `json:"mean_wait,omitempty"`
-	MeanFlow  float64     `json:"mean_flow,omitempty"`
-	MaxFlow   float64     `json:"max_flow,omitempty"`
-	Util      float64     `json:"utilization,omitempty"`
-	Replans   int         `json:"replans,omitempty"`
-	Fallbacks int         `json:"fallbacks,omitempty"`
-	Finished  int         `json:"finished,omitempty"`
-}
-
-// wireEvent is the JSON shape of one online.Event. Job is -1 on events
-// that concern no single job (replan).
-type wireEvent struct {
-	T        float64 `json:"t"`
-	Kind     string  `json:"kind"`
-	Job      int     `json:"job"`
-	Procs    int     `json:"procs,omitempty"`
-	Free     int     `json:"free"`
-	Pending  int     `json:"pending,omitempty"`
-	Algo     string  `json:"algo,omitempty"`
-	Fallback bool    `json:"fallback,omitempty"`
-}
-
-func wireEvents(evs []online.Event) []wireEvent {
-	out := make([]wireEvent, len(evs))
-	for i, e := range evs {
-		out[i] = wireEvent{
-			T: e.T, Kind: e.Kind.String(), Job: e.Job, Procs: e.Procs,
-			Free: e.Free, Pending: e.Pending, Algo: e.Algo, Fallback: e.Fallback,
-		}
-	}
-	return out
-}
-
-// writer serializes concurrent response emission onto stdout.
-type writer struct {
-	mu  sync.Mutex
-	enc *json.Encoder //sched:guardedby mu
-}
-
-func (w *writer) send(r response) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.enc.Encode(r); err != nil {
-		log.Fatalf("writing response: %v", err)
-	}
-}
-
 func main() {
 	var (
-		workers  = flag.Int("workers", 0, "pool workers (0: GOMAXPROCS)")
-		cacheCap = flag.Int("cache", 1024, "result-cache capacity (0: default)")
-		memoCap  = flag.Int("memo", 256, "memoized-instance capacity (0: default)")
-		memoMB   = flag.Int("memo-mb", 256, "memoized-instance byte budget in MB (0: default)")
+		workers  = flag.Int("workers", 0, "pool workers per shard (0: GOMAXPROCS)")
+		cacheCap = flag.Int("cache", 1024, "result-cache capacity per shard (0: default)")
+		memoCap  = flag.Int("memo", 256, "memoized-instance capacity per shard (0: default)")
+		memoMB   = flag.Int("memo-mb", 256, "memoized-instance byte budget in MB per shard (0: default)")
 		noMemo   = flag.Bool("no-memo", false, "disable oracle memoization")
 		noCache  = flag.Bool("no-cache", false, "disable the result cache")
 		probes   = flag.Int("probes", 256, "monotonicity probes per submitted job (0: exhaustive)")
+
+		listen      = flag.String("listen", "", "serve the wire protocol on this TCP address (e.g. :7463) instead of stdin/stdout")
+		httpAddr    = flag.String("http", "", "serve /healthz, /stats and POST /rpc on this HTTP address")
+		shards      = flag.Int("shards", 1, "backend scheduler shards (network mode; instances route by hash)")
+		maxInflight = flag.Int("max-inflight", 0, "admitted-request budget across all connections (0: unlimited; excess sheds with code \"overloaded\")")
+		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant request quota in req/s (0: no quotas)")
+		quotaBurst  = flag.Float64("quota-burst", 0, "per-tenant quota burst capacity (0: defaults to max(1, quota-rate))")
+		idleSession = flag.Duration("idle-session", 0, "reap online sessions idle longer than this (0: never)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("moldschedd: ")
 
-	svc := service.New(service.Config{
+	svcCfg := service.Config{
 		Workers:        *workers,
 		ResultCacheCap: *cacheCap,
 		MemoCap:        *memoCap,
 		MemoBudgetMB:   *memoMB,
 		NoMemoize:      *noMemo,
 		NoResultCache:  *noCache,
-	})
-	defer svc.Close()
-
-	if err := serve(svc, os.Stdin, os.Stdout, *probes); err != nil {
-		log.Fatalf("reading stdin: %v", err)
 	}
-}
-
-// serve runs the JSON-lines read loop against svc until EOF or a
-// shutdown request. Extracted from main so the error paths of the
-// protocol — malformed lines, unknown ops, stateful-session misuse —
-// are testable in-process; the loop's resilience contract is that no
-// request, however malformed, terminates it (only EOF, shutdown, or an
-// unreadable stream do).
-func serve(svc *service.Scheduler, in io.Reader, w io.Writer, probes int) error {
-	out := &writer{enc: json.NewEncoder(w)}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<28) // table-backed instances can be large
-	var pending sync.WaitGroup               // all async handlers
-	var submits sync.WaitGroup               // submit handlers only; see the result case
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var req request
-		if err := json.Unmarshal(line, &req); err != nil {
-			out.send(response{Op: "error", Code: codeBadRequest, Error: fmt.Sprintf("bad request: %v", err)})
-			continue
-		}
-		switch req.Op {
-		case "submit":
-			// Validation (O(probes) per job) must not stall request
-			// intake; handle off the read loop like result-wait. Clients
-			// correlate the reply by tag.
-			pending.Add(1)
-			submits.Add(1)
-			go func(req request) {
-				defer pending.Done()
-				defer submits.Done()
-				handleSubmit(svc, out, req, probes)
-			}(req)
-		case "result":
-			if req.Wait {
-				// Waiting must not block the read loop: answer from a
-				// goroutine; the response carries the id. Let submits
-				// read before this request land first, so a sequential
-				// script (submit, then result for its ticket) never
-				// races the async submit handler.
-				pending.Add(1)
-				go func(id uint64) {
-					defer pending.Done()
-					submits.Wait()
-					res, ok := svc.Wait(id)
-					sendResult(out, id, res, ok, true)
-				}(req.ID)
-			} else {
-				res, done, known := svc.Poll(req.ID)
-				sendResult(out, req.ID, res, known, done)
-			}
-		case "open_online":
-			handleOpenOnline(svc, out, req)
-		case "arrive":
-			handleArrive(svc, out, req, probes)
-		case "trace":
-			evs, err := svc.OnlineTrace(req.ID)
-			if err != nil {
-				out.send(response{Op: "trace", ID: req.ID, Code: codeUnknownTicket, Error: err.Error()})
-				continue
-			}
-			out.send(response{Op: "trace", ID: req.ID, Events: wireEvents(evs)})
-		case "drain":
-			handleDrain(svc, out, req)
-		case "stats":
-			st := svc.Stats()
-			out.send(response{Op: "stats", Tag: req.Tag, Stats: &st})
-		case "shutdown":
-			pending.Wait()
-			out.send(response{Op: "shutdown", Tag: req.Tag})
-			return nil
-		default:
-			out.send(response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
-		}
-	}
-	// Wait for in-flight async handlers on EVERY exit path (the
-	// shutdown case waits separately before acking): a handler that
-	// outlives serve would write into w after the caller has moved on
-	// — for an embedder reading a bytes.Buffer, a data race.
-	pending.Wait()
-	return sc.Err()
-}
-
-func handleSubmit(svc *service.Scheduler, out *writer, req request, probes int) {
-	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
-	if err != nil {
-		out.send(response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
-		return
-	}
-	in, err := moldable.UnmarshalInstance(req.Instance)
-	if err != nil {
-		out.send(response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("bad instance: %v", err)})
-		return
-	}
-	// Per-submission deadline: created before validation so timeout_ms
-	// bounds the monotonicity probing as well as the scheduling; the
-	// context then travels with the ticket, so an expired deadline
-	// abandons queued work and stops a running dual search at its next
-	// probe. The watcher releases the timer as soon as the ticket
-	// completes, whoever collects it.
 	ctx := context.Background()
-	var cancel context.CancelFunc
-	if req.TimeoutMS > 0 {
-		// Clamp before converting: a huge timeout_ms (client shorthand
-		// for "no deadline") would overflow time.Duration to a negative
-		// value and cancel the submission instantly.
-		ns := req.TimeoutMS * float64(time.Millisecond)
-		d := time.Duration(math.MaxInt64)
-		if ns < float64(math.MaxInt64) {
-			d = time.Duration(ns)
-		}
-		ctx, cancel = context.WithTimeout(ctx, d)
-	}
-	if err := in.ValidateCtx(ctx, probes); err != nil {
-		if cancel != nil {
-			cancel()
-		}
-		// Every validation failure is a client-input problem: keep the
-		// typed codes (not_monotone, canceled, …) but never report
-		// "internal" for structural errors like m < 1 — that reads as a
-		// server fault.
-		code := scherr.Code(err)
-		if code == scherr.CodeInternal {
-			code = codeBadRequest
-		}
-		out.send(response{Op: "submit", Tag: req.Tag, Code: code, Error: fmt.Sprintf("invalid instance: %v", err)})
-		return
-	}
-	id := svc.SubmitCtx(ctx, in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
-	if cancel != nil {
-		if done, ok := svc.Done(id); ok {
-			go func() {
-				<-done
-				cancel()
-			}()
-		} else {
-			cancel()
-		}
-	}
-	out.send(response{Op: "submit", Tag: req.Tag, ID: id})
-}
 
-// handleOpenOnline creates an online session. Runs on the read loop:
-// session ops are order-dependent (see the package comment).
-func handleOpenOnline(svc *service.Scheduler, out *writer, req request) {
-	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
-	if err != nil {
-		out.send(response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+	if *listen == "" && *httpAddr == "" {
+		// Pipe mode (the default): one in-process service, no admission
+		// control — the peer on the other end of the pipe is trusted.
+		svc := service.New(svcCfg)
+		defer svc.Close()
+		if err := netserve.ServeLines(ctx, svc, os.Stdin, os.Stdout, netserve.ServeConfig{Probes: *probes}); err != nil {
+			log.Fatalf("reading stdin: %v", err)
+		}
 		return
 	}
-	policy, err := online.ParsePolicy(orDefault(req.Policy, "epoch"))
-	if err != nil {
-		out.send(response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
-		return
-	}
-	id, err := svc.OpenOnline(online.Config{
-		M: req.M, Policy: policy, Algorithm: algo, Eps: req.Eps,
-		EpochMin: req.EpochMin, EpochGrow: req.EpochGrow,
+
+	srv := netserve.NewServer(ctx, netserve.ServerConfig{
+		Shards:  *shards,
+		Service: svcCfg,
+		Limits: netserve.Limits{
+			MaxInflight: *maxInflight,
+			QuotaRate:   *quotaRate,
+			QuotaBurst:  *quotaBurst,
+		},
+		Probes:      *probes,
+		IdleSession: *idleSession,
 	})
-	if err != nil {
-		code := scherr.Code(err)
-		if code == scherr.CodeInternal {
-			code = codeBadRequest // config problems are client input, not server faults
+	defer srv.Close()
+
+	// Both listeners report onto one channel; the first fatal error (or
+	// clean stop) takes the daemon down through srv.Close above.
+	errc := make(chan error, 2)
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("listen %s: %v", *listen, err)
 		}
-		out.send(response{Op: "open_online", Tag: req.Tag, Code: code, Error: err.Error()})
-		return
+		log.Printf("serving wire protocol on %s (%d shards)", ln.Addr(), *shards)
+		go func() { errc <- srv.Serve(ln) }()
 	}
-	out.send(response{Op: "open_online", Tag: req.Tag, ID: id})
-}
-
-// handleArrive admits one arrival into a session.
-func handleArrive(svc *service.Scheduler, out *writer, req request, probes int) {
-	if len(req.Job) == 0 {
-		out.send(response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: "arrive needs a job"})
-		return
+	if *httpAddr != "" {
+		hs := &http.Server{Addr: *httpAddr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		log.Printf("serving HTTP on %s", *httpAddr)
+		go func() { errc <- hs.ListenAndServe() }()
 	}
-	job, err := moldable.UnmarshalJob(req.Job)
-	if err != nil {
-		out.send(response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: fmt.Sprintf("bad job: %v", err)})
-		return
+	if err := <-errc; err != nil {
+		log.Fatalf("serving: %v", err)
 	}
-	// Same admission checks as submit: a non-monotone job must be
-	// rejected at the door, not poison the session's planner later.
-	// Probe over the session's machine size.
-	m, err := svc.OnlineMachine(req.ID)
-	if err != nil {
-		out.send(response{Op: "arrive", ID: req.ID, Code: codeUnknownTicket, Error: err.Error()})
-		return
-	}
-	if err := moldable.CheckMonotone(job, m, probes); err != nil {
-		out.send(response{Op: "arrive", ID: req.ID, Code: scherr.Code(err), Error: fmt.Sprintf("invalid job: %v", err)})
-		return
-	}
-	evs, err := svc.OnlineArrive(context.Background(), req.ID, online.Arrival{T: req.T, Job: job})
-	if err != nil {
-		out.send(response{Op: "arrive", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
-		return
-	}
-	out.send(response{Op: "arrive", ID: req.ID, Events: wireEvents(evs)})
-}
-
-// handleDrain runs a session to completion and reports its metrics.
-func handleDrain(svc *service.Scheduler, out *writer, req request) {
-	evs, met, err := svc.OnlineDrain(context.Background(), req.ID)
-	if err != nil {
-		out.send(response{Op: "drain", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
-		return
-	}
-	out.send(response{
-		Op: "drain", ID: req.ID, Events: wireEvents(evs),
-		Makespan: met.Makespan, MeanWait: met.MeanWait, MeanFlow: met.MeanFlow,
-		MaxFlow: met.MaxFlow, Util: met.Utilization,
-		Replans: met.Replans, Fallbacks: met.Fallbacks, Finished: met.Finished,
-	})
-}
-
-// onlineCode maps a session-op error to a wire code: unknown sessions
-// get the ticket code, runtime stream violations (out-of-order
-// arrivals, arrival-after-drain) are client input, and the typed
-// taxonomy passes through.
-func onlineCode(err error) string {
-	if errors.Is(err, service.ErrUnknownSession) {
-		return codeUnknownTicket
-	}
-	if code := scherr.Code(err); code != scherr.CodeInternal {
-		return code
-	}
-	return codeBadRequest
-}
-
-func sendResult(out *writer, id uint64, res service.Result, known, done bool) {
-	if !known {
-		out.send(response{Op: "result", ID: id, Code: codeUnknownTicket, Error: "unknown or already-collected ticket"})
-		return
-	}
-	resp := response{Op: "result", ID: id, Done: &done}
-	if !done {
-		out.send(resp)
-		return
-	}
-	if res.Err != nil {
-		resp.Error = res.Err.Error()
-		resp.Code = scherr.Code(res.Err)
-		out.send(resp)
-		return
-	}
-	resp.Cached = res.Cached
-	rep := res.Report
-	resp.Algorithm = rep.Algorithm.String()
-	resp.Makespan = rep.Makespan
-	resp.LowerBound = rep.LowerBound
-	resp.Ratio = rep.Ratio
-	resp.Iterations = rep.Iterations
-	resp.ElapsedMS = float64(rep.Elapsed.Microseconds()) / 1000
-	resp.Allot = res.Schedule.Allotment(len(res.Schedule.Placements))
-	out.send(resp)
-}
-
-func orDefault(s, def string) string {
-	if s == "" {
-		return def
-	}
-	return s
 }

@@ -2,24 +2,32 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/netserve"
 	"repro/internal/service"
 )
 
+// response aliases the wire response shape the daemon serves (the loop
+// itself lives in internal/netserve since the TCP transport landed; the
+// daemon tests keep exercising it through the same entry point main
+// uses for pipe mode).
+type response = netserve.Response
+
 // runSession feeds the request lines through the serve loop against a
 // fresh service and decodes every response. A trailing shutdown is
-// appended so serve drains its async handlers before returning.
+// appended so the loop drains its async handlers before returning.
 func runSession(t *testing.T, lines ...string) []response {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2})
 	defer svc.Close()
 	in := strings.Join(append(lines, `{"op":"shutdown","tag":"end"}`), "\n") + "\n"
 	var buf bytes.Buffer
-	if err := serve(svc, strings.NewReader(in), &buf, 64); err != nil {
+	if err := netserve.ServeLines(context.Background(), svc, strings.NewReader(in), &buf, netserve.ServeConfig{Probes: 64}); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
 	var out []response

@@ -13,7 +13,8 @@ import (
 
 // WireCode keeps the three copies of the moldschedd error-code
 // vocabulary in lock step: the scherr sentinels and their Code*
-// constants, the protocol-level code* constants in cmd/moldschedd, and
+// constants, the protocol-level code* constants of the serving layer
+// (internal/netserve, or any main package declaring them), and
 // the two "Error codes" tables of docs/PROTOCOL.md. PROTOCOL.md
 // promises clients the codes are stable and exhaustive ("branch on the
 // code, never the text"); this analyzer turns doc drift — a sentinel
@@ -23,8 +24,8 @@ import (
 // On internal/scherr it checks that every exported Err* sentinel has an
 // errors.Is branch in Code, every exported Code* constant is returned
 // by Code, and the constant values exactly match the library table of
-// PROTOCOL.md. On cmd/moldschedd (any main package declaring code*
-// string constants) it checks the protocol-level table the same way.
+// PROTOCOL.md. On the serving layer it checks the protocol-level table
+// the same way.
 var WireCode = &Analyzer{
 	Name: "wirecode",
 	Doc:  "scherr sentinels, moldschedd wire codes, and docs/PROTOCOL.md must agree",
@@ -40,7 +41,7 @@ func runWireCode(pass *Pass) error {
 	switch {
 	case pass.Pkg.Name() == "scherr":
 		return wireCheckScherr(pass)
-	case pass.Pkg.Name() == "main" && hasProtoConsts(pass):
+	case (pass.Pkg.Name() == "main" || pass.Pkg.Name() == "netserve") && hasProtoConsts(pass):
 		return wireCheckDaemon(pass)
 	}
 	return nil

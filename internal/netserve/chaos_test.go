@@ -1,0 +1,299 @@
+package netserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/online"
+	"repro/internal/service"
+)
+
+// Chaos harness: kill a backend shard while clients are mid-request
+// and pin what they observe. The contract under fire is threefold —
+// every request completes within its deadline with a TYPED terminal
+// error (ErrUnavailable; never a hang, never an untyped string), the
+// surviving shards keep serving unaffected, and the whole exercise
+// leaks no goroutines (checked under -race in CI).
+
+// startTestServer boots a Server on a loopback listener and returns it
+// with its address. The server is closed by the caller.
+func startTestServer(t *testing.T, cfg ServerConfig) (*Server, string, chan error) {
+	t.Helper()
+	srv := NewServer(context.Background(), cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), errc
+}
+
+// instanceForShard fabricates distinct instances until one hashes to
+// the wanted shard (varying a job parameter perturbs the canonical
+// hash).
+func instanceForShard(t *testing.T, r *Router, want, jobs, salt int) *moldable.Instance {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		in := &moldable.Instance{M: 256}
+		for j := 0; j < jobs; j++ {
+			in.Jobs = append(in.Jobs, moldable.Amdahl{
+				Seq: 1 + float64(salt), Par: 90 + float64(i) + float64(j%7),
+			})
+		}
+		if r.ShardOf(in) == want {
+			return in
+		}
+	}
+	t.Fatal("could not fabricate an instance for the wanted shard")
+	return nil
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to the
+// baseline (plus slack for runtime helpers); a stuck handler or
+// collector shows up as a count that never comes back.
+func checkNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d at baseline\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosKillShardMidStream kills a shard while a burst of
+// submissions routed to it is still in flight. Every ticket must
+// resolve within the deadline — completed before the kill, or failed
+// with the typed "unavailable" code — and submissions hashing to the
+// surviving shards must be untouched. Afterwards the server tears down
+// without leaking goroutines.
+func TestChaosKillShardMidStream(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, addr, errc := startTestServer(t, ServerConfig{
+		Shards:  3,
+		Service: service.Config{Workers: 1}, // single worker per shard: a burst stays queued
+	})
+	router := srv.Router()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	wc, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	const victim = 0
+	const burst = 64
+	// Heavyweight distinct instances (hundreds of jobs each, no cache
+	// hits), submitted CONCURRENTLY: the acks all come back while the
+	// shard's single worker has barely started, so the queue is deep
+	// when the kill lands — mid-stream by construction, not by
+	// sleep-based luck.
+	insts := make([]*moldable.Instance, burst)
+	for i := range insts {
+		insts[i] = instanceForShard(t, router, victim, 400, i)
+	}
+	ids := make([]uint64, burst)
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := range insts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = wc.Submit(ctx, insts[i], core.Options{Eps: 0.1}, false)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	router.Kill(victim)
+
+	var ok, unavailable int
+	for i, id := range ids {
+		res, err := wc.Result(ctx, id, true, insts[i])
+		if err != nil {
+			t.Fatalf("result %d: transport error %v", i, err)
+		}
+		switch {
+		case res.Err == nil:
+			ok++
+		case errors.Is(res.Err, ErrUnavailable):
+			unavailable++
+		default:
+			t.Fatalf("ticket %d: error is not typed unavailable: %v", id, res.Err)
+		}
+	}
+	if unavailable == 0 {
+		t.Fatalf("all %d queued submissions outran the kill (ok=%d); the burst must be heavier", burst, ok)
+	}
+	t.Logf("burst of %d: %d completed before the kill, %d typed unavailable", burst, ok, unavailable)
+
+	// Survivors keep serving: work routed to the dead shard fails over,
+	// work for alive shards is unaffected.
+	for _, shard := range []int{1, 2} {
+		in := instanceForShard(t, router, shard, 2, 1000+shard)
+		id, err := wc.Submit(ctx, in, core.Options{Eps: 0.1}, false)
+		if err != nil {
+			t.Fatalf("post-kill submit to shard %d: %v", shard, err)
+		}
+		res, err := wc.Result(ctx, id, true, in)
+		if err != nil || res.Err != nil {
+			t.Fatalf("post-kill result from shard %d: %v / %v", shard, err, res.Err)
+		}
+	}
+	failover := instanceForShard(t, router, victim, 2, 2000)
+	id, err := wc.Submit(ctx, failover, core.Options{Eps: 0.1}, false)
+	if err != nil {
+		t.Fatalf("failover submit: %v", err)
+	}
+	if res, err := wc.Result(ctx, id, true, failover); err != nil || res.Err != nil {
+		t.Fatalf("failover result: %v / %v", err, res.Err)
+	}
+
+	wc.Close()
+	srv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestChaosKillShardMidOnlineSession opens one online session per
+// shard, feeds each an arrival, kills one shard, and pins the split:
+// the session owned by the dead shard reports the typed "unavailable"
+// code on every further op, while the other sessions arrive and drain
+// as if nothing happened. No goroutines leak through the kill.
+func TestChaosKillShardMidOnlineSession(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, addr, errc := startTestServer(t, ServerConfig{
+		Shards:  3,
+		Service: service.Config{Workers: 1},
+	})
+	router := srv.Router()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	wc, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	cfg := online.Config{M: 64, Eps: 0.5}
+	job := func(i int) online.Arrival {
+		return online.Arrival{T: 0, Job: moldable.Amdahl{Seq: 2, Par: 90 + float64(i)}}
+	}
+	// Round-robin placement: 3 opens land on 3 distinct shards.
+	sessions := make([]uint64, 3)
+	for i := range sessions {
+		id, err := wc.OpenOnline(ctx, cfg)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		sessions[i] = id
+		if _, err := wc.Arrive(ctx, id, job(i)); err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+	}
+
+	const victim = 1
+	router.Kill(victim)
+
+	// Find the orphaned session empirically: exactly one session's next
+	// arrive must be the typed unavailable error; the others continue.
+	var orphans, healthy []uint64
+	for i, id := range sessions {
+		_, err := wc.Arrive(ctx, id, online.Arrival{T: 1, Job: moldable.Amdahl{Seq: 2, Par: 80 + float64(i)}})
+		switch {
+		case err == nil:
+			healthy = append(healthy, id)
+		case errors.Is(err, ErrUnavailable):
+			orphans = append(orphans, id)
+		default:
+			t.Fatalf("session %d: error is not typed unavailable: %v", id, err)
+		}
+	}
+	if len(orphans) != 1 || len(healthy) != 2 {
+		t.Fatalf("kill of one shard orphaned %d sessions (want 1): orphans=%v healthy=%v",
+			len(orphans), orphans, healthy)
+	}
+	// Draining the orphan is equally typed — and equally terminal.
+	if _, _, err := wc.Drain(ctx, orphans[0]); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("drain of orphaned session: %v, want ErrUnavailable", err)
+	}
+	// The survivors drain to completion with real metrics.
+	for _, id := range healthy {
+		evs, met, err := wc.Drain(ctx, id)
+		if err != nil {
+			t.Fatalf("drain of healthy session %d: %v", id, err)
+		}
+		if len(evs) == 0 && met.Finished == 0 {
+			t.Fatalf("healthy session %d drained to nothing: %+v", id, met)
+		}
+		if met.Finished != 2 {
+			t.Fatalf("healthy session %d finished %d jobs, want 2", id, met.Finished)
+		}
+	}
+
+	wc.Close()
+	srv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestChaosAllShardsDead is the endgame: with every shard killed, a
+// submission still answers — promptly, with the typed unavailable
+// error — rather than hanging a client on a fleet that no longer
+// exists.
+func TestChaosAllShardsDead(t *testing.T) {
+	srv, addr, errc := startTestServer(t, ServerConfig{Shards: 2, Service: service.Config{Workers: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wc, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	srv.Router().Kill(0)
+	srv.Router().Kill(1)
+
+	in := &moldable.Instance{M: 8, Jobs: []moldable.Job{moldable.PerfectSpeedup{W: 8}}}
+	id, err := wc.Submit(ctx, in, core.Options{Eps: 0.5}, false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res, err := wc.Result(ctx, id, true, in)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if !errors.Is(res.Err, ErrUnavailable) {
+		t.Fatalf("result on dead fleet: %v, want ErrUnavailable", res.Err)
+	}
+	if _, err := wc.OpenOnline(ctx, online.Config{M: 8, Eps: 0.5}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open_online on dead fleet: %v, want ErrUnavailable", err)
+	}
+
+	wc.Close()
+	srv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,419 @@
+package netserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/online"
+	"repro/internal/scherr"
+	"repro/internal/service"
+)
+
+// routeCap bounds the router's global-ticket translation table. Routes
+// are deleted when their ticket is consumed (Wait, Poll-done, drain,
+// release); this FIFO bounds retention for fire-and-forget clients that
+// never collect, mirroring the per-shard uncollected-ticket cap of
+// internal/service. An evicted ticket reports unknown_ticket, exactly
+// like a service-evicted one.
+const routeCap = 1 << 16
+
+// RouterConfig sizes a Router.
+type RouterConfig struct {
+	// Shards is the number of backend schedulers; ≤ 0 selects 1.
+	Shards int
+	// Service configures each shard (workers, caches, memo budget).
+	// Workers is per shard.
+	Service service.Config
+}
+
+// Router fronts N service.Scheduler shards behind the Backend
+// interface. Batch submissions are routed by the canonical instance
+// hash (service.HashInstance) so structurally equal instances always
+// land on the same shard — the per-shard result cache and memo
+// registry keep the hit rates they had single-process. Unhashable
+// instances and online sessions are spread round-robin. Tickets are
+// translated into a router-global id space; clients never see shard-
+// local ids.
+//
+// Kill marks a shard dead: its in-flight work is canceled at the next
+// dual probe (every submission's context is merged with its shard's
+// lifetime), collected tickets report ErrUnavailable, ops on its
+// online sessions report ErrUnavailable, and NEW submissions fail over
+// to the next alive shard (affinity is lost; service continues). The
+// dead shard's worker pool is not closed until Close — closing it
+// while the serve loops still route would turn a chaos event into a
+// process panic.
+type Router struct {
+	shards []*shard
+	seed   maphash.Seed
+	nextID atomic.Uint64
+	opens  atomic.Uint64 // round-robin cursor (online opens, unhashable instances)
+
+	mu     sync.Mutex
+	routes map[uint64]route //sched:guardedby mu
+	fifo   []uint64         //sched:guardedby mu — insertion order, for routeCap eviction
+}
+
+// shard is one backend scheduler plus its lifetime: ctx is canceled by
+// Kill (and by the router ctx ending), which stops the shard's
+// in-flight work at its next probe.
+type shard struct {
+	svc  *service.Scheduler
+	ctx  context.Context
+	kill context.CancelFunc
+	dead atomic.Bool
+}
+
+// route translates one global ticket. A terminal route (err != nil)
+// was never submitted to a shard: it completes immediately with err
+// (all shards dead at submit time).
+type route struct {
+	shard  int
+	local  uint64
+	online bool
+	err    error
+}
+
+// NewRouter creates a Router with cfg.Shards backend schedulers. ctx
+// bounds the shards' collective lifetime: when it ends, all in-flight
+// work is canceled (Close still must be called to stop the workers).
+func NewRouter(ctx context.Context, cfg RouterConfig) *Router {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	r := &Router{
+		shards: make([]*shard, n),
+		seed:   maphash.MakeSeed(),
+		routes: make(map[uint64]route),
+	}
+	for i := range r.shards {
+		sctx, kill := context.WithCancel(ctx)
+		r.shards[i] = &shard{svc: service.New(cfg.Service), ctx: sctx, kill: kill}
+	}
+	return r
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// ShardOf reports which shard a submission of in routes to while every
+// shard is alive — the chaos tests' planning oracle.
+func (r *Router) ShardOf(in *moldable.Instance) int {
+	key, ok := service.HashInstance(r.seed, in)
+	if !ok {
+		return -1 // unhashable: round-robin at submit time
+	}
+	return int(key % uint64(len(r.shards)))
+}
+
+// Alive reports whether shard i accepts work.
+func (r *Router) Alive(i int) bool { return !r.shards[i].dead.Load() }
+
+// ShardStats snapshots one shard's counters (the HTTP /stats
+// endpoint's per-shard view).
+func (r *Router) ShardStats(i int) service.Stats { return r.shards[i].svc.Stats() }
+
+// Kill marks shard i dead and cancels its in-flight work. Idempotent.
+// The shard's workers stay up (idle) until Close; see the type comment.
+func (r *Router) Kill(i int) {
+	sh := r.shards[i]
+	if sh.dead.CompareAndSwap(false, true) {
+		sh.kill()
+	}
+}
+
+// Close cancels and stops every shard. Call only after all serve
+// loops using the router have returned.
+func (r *Router) Close() {
+	for _, sh := range r.shards {
+		sh.kill()
+		sh.svc.Close()
+	}
+}
+
+// pick selects the shard for an instance: hash-affine when canonical,
+// round-robin otherwise, failing over past dead shards. ok=false means
+// every shard is dead.
+func (r *Router) pick(in *moldable.Instance) (int, bool) {
+	n := len(r.shards)
+	i := r.ShardOf(in)
+	if i < 0 {
+		i = int(r.opens.Add(1) % uint64(n))
+	}
+	for off := 0; off < n; off++ {
+		j := (i + off) % n
+		if !r.shards[j].dead.Load() {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// storeRoute registers a global ticket, evicting the oldest routes
+// beyond routeCap.
+func (r *Router) storeRoute(gid uint64, rt route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes[gid] = rt
+	r.fifo = append(r.fifo, gid)
+	for len(r.fifo) > routeCap {
+		delete(r.routes, r.fifo[0])
+		r.fifo = r.fifo[1:]
+	}
+}
+
+func (r *Router) loadRoute(gid uint64) (route, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.routes[gid]
+	return rt, ok
+}
+
+func (r *Router) deleteRoute(gid uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.routes, gid)
+}
+
+// SubmitCtx routes one submission (Backend). The submission's context
+// is merged with its shard's lifetime so Kill cancels the work mid-
+// probe; results collected from a dead shard report ErrUnavailable.
+func (r *Router) SubmitCtx(ctx context.Context, in *moldable.Instance, opt core.Options) uint64 {
+	gid := r.nextID.Add(1)
+	i, ok := r.pick(in)
+	if !ok {
+		r.storeRoute(gid, route{err: fmt.Errorf("%w: all %d shards killed", ErrUnavailable, len(r.shards))})
+		return gid
+	}
+	sh := r.shards[i]
+	// Merge the request context with the shard lifetime: whichever
+	// ends first cancels the submission. The watcher goroutine holds
+	// the merge only until the ticket completes.
+	sctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(sh.ctx, cancel)
+	local := sh.svc.SubmitCtx(sctx, in, opt)
+	if done, okDone := sh.svc.Done(local); okDone {
+		go func() {
+			<-done
+			stop()
+			cancel()
+		}()
+	} else {
+		stop()
+		cancel()
+	}
+	r.storeRoute(gid, route{shard: i, local: local})
+	return gid
+}
+
+// xlate rewrites a canceled result from a dead shard into the typed
+// terminal ErrUnavailable: the caller's deadline did not win, the
+// shard's death did.
+func (r *Router) xlate(rt route, err error) error {
+	if err == nil || rt.err != nil {
+		return err
+	}
+	if r.shards[rt.shard].dead.Load() && errors.Is(err, scherr.ErrCanceled) {
+		return fmt.Errorf("%w: shard %d killed mid-run (%v)", ErrUnavailable, rt.shard, err)
+	}
+	return err
+}
+
+// Wait collects a global ticket (Backend).
+func (r *Router) Wait(gid uint64) (service.Result, bool) {
+	rt, ok := r.loadRoute(gid)
+	if !ok {
+		return service.Result{}, false
+	}
+	if rt.err != nil {
+		r.deleteRoute(gid)
+		return service.Result{Err: rt.err}, true
+	}
+	res, ok := r.shards[rt.shard].svc.Wait(rt.local)
+	r.deleteRoute(gid)
+	if ok {
+		res.Err = r.xlate(rt, res.Err)
+	}
+	return res, ok
+}
+
+// Poll collects a global ticket without blocking (Backend).
+func (r *Router) Poll(gid uint64) (res service.Result, done, known bool) {
+	rt, ok := r.loadRoute(gid)
+	if !ok {
+		return service.Result{}, false, false
+	}
+	if rt.err != nil {
+		r.deleteRoute(gid)
+		return service.Result{Err: rt.err}, true, true
+	}
+	res, done, known = r.shards[rt.shard].svc.Poll(rt.local)
+	if done || !known {
+		r.deleteRoute(gid)
+	}
+	if known {
+		res.Err = r.xlate(rt, res.Err)
+	}
+	return res, done, known
+}
+
+// Done observes a global ticket's completion (Backend).
+func (r *Router) Done(gid uint64) (<-chan struct{}, bool) {
+	rt, ok := r.loadRoute(gid)
+	if !ok {
+		return nil, false
+	}
+	if rt.err != nil {
+		return closedChan, true
+	}
+	return r.shards[rt.shard].svc.Done(rt.local)
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// OpenOnline opens a session on a round-robin-selected alive shard
+// (Backend). Sessions have no content hash to route by; spreading them
+// balances the stateful load.
+func (r *Router) OpenOnline(cfg online.Config) (uint64, error) {
+	n := len(r.shards)
+	start := int(r.opens.Add(1) % uint64(n))
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		sh := r.shards[i]
+		if sh.dead.Load() {
+			continue
+		}
+		local, err := sh.svc.OpenOnline(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gid := r.nextID.Add(1)
+		r.storeRoute(gid, route{shard: i, local: local, online: true})
+		return gid, nil
+	}
+	return 0, fmt.Errorf("%w: all %d shards killed", ErrUnavailable, n)
+}
+
+// onlineRoute resolves a session ticket, translating dead shards into
+// ErrUnavailable.
+func (r *Router) onlineRoute(gid uint64) (route, *shard, error) {
+	rt, ok := r.loadRoute(gid)
+	if !ok || !rt.online {
+		return route{}, nil, service.ErrUnknownSession
+	}
+	sh := r.shards[rt.shard]
+	if sh.dead.Load() {
+		return rt, sh, fmt.Errorf("%w: shard %d owning this session was killed", ErrUnavailable, rt.shard)
+	}
+	return rt, sh, nil
+}
+
+// OnlineMachine reports a session's machine size (Backend).
+func (r *Router) OnlineMachine(gid uint64) (int, error) {
+	rt, sh, err := r.onlineRoute(gid)
+	if err != nil {
+		return 0, err
+	}
+	return sh.svc.OnlineMachine(rt.local)
+}
+
+// OnlineArrive feeds a session one arrival (Backend). The call is
+// bounded by the shard lifetime like SubmitCtx, so a Kill mid-replan
+// surfaces promptly as ErrUnavailable rather than running on.
+func (r *Router) OnlineArrive(ctx context.Context, gid uint64, a online.Arrival) ([]online.Event, error) {
+	rt, sh, err := r.onlineRoute(gid)
+	if err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(sh.ctx, cancel)
+	defer stop()
+	evs, err := sh.svc.OnlineArrive(sctx, rt.local, a)
+	return evs, r.xlate(rt, err)
+}
+
+// OnlineTrace snapshots a session's event log (Backend).
+func (r *Router) OnlineTrace(gid uint64) ([]online.Event, error) {
+	rt, sh, err := r.onlineRoute(gid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.svc.OnlineTrace(rt.local)
+}
+
+// OnlineDrain runs a session to completion and releases its ticket
+// (Backend), mirroring the service's keep-on-cancel semantics.
+func (r *Router) OnlineDrain(ctx context.Context, gid uint64) ([]online.Event, online.Metrics, error) {
+	rt, sh, err := r.onlineRoute(gid)
+	if err != nil {
+		return nil, online.Metrics{}, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(sh.ctx, cancel)
+	defer stop()
+	evs, met, err := sh.svc.OnlineDrain(sctx, rt.local)
+	err = r.xlate(rt, err)
+	if err == nil || !errors.Is(err, scherr.ErrCanceled) {
+		r.deleteRoute(gid) // released server-side (also on poisoned drains)
+	}
+	return evs, met, err
+}
+
+// ReleaseOnline abandons a session without draining (Backend). Works
+// on dead shards too — cleanup must outlive a chaos kill.
+func (r *Router) ReleaseOnline(gid uint64) bool {
+	rt, ok := r.loadRoute(gid)
+	if !ok || !rt.online {
+		return false
+	}
+	r.deleteRoute(gid)
+	return r.shards[rt.shard].svc.ReleaseOnline(rt.local)
+}
+
+// ReapOnlineIdle reaps idle sessions on every shard (Backend). Stale
+// routes to reaped sessions resolve to unknown_ticket on next use and
+// age out of the route FIFO.
+func (r *Router) ReapOnlineIdle(maxIdle time.Duration) int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.svc.ReapOnlineIdle(maxIdle)
+	}
+	return n
+}
+
+// Stats aggregates every shard's counters (Backend): the wire-visible
+// stats op reports fleet totals; per-shard views are on the HTTP
+// /stats endpoint.
+func (r *Router) Stats() service.Stats {
+	var agg service.Stats
+	for _, sh := range r.shards {
+		st := sh.svc.Stats()
+		agg.Submitted += st.Submitted
+		agg.Completed += st.Completed
+		agg.Pending += st.Pending
+		agg.Errors += st.Errors
+		agg.ResultHits += st.ResultHits
+		agg.OracleHits += st.OracleHits
+		agg.OracleMisses += st.OracleMisses
+		agg.MemoizedInstances += st.MemoizedInstances
+		agg.CachedResults += st.CachedResults
+		agg.OnlineSessions += st.OnlineSessions
+		agg.OnlineOpened += st.OnlineOpened
+		agg.OnlineArrivals += st.OnlineArrivals
+	}
+	return agg
+}

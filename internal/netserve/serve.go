@@ -1,0 +1,442 @@
+package netserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/online"
+	"repro/internal/scherr"
+	"repro/internal/service"
+)
+
+// ServeConfig parameterizes one protocol session.
+type ServeConfig struct {
+	// Probes is the monotonicity probe budget per submitted job
+	// (0: exhaustive).
+	Probes int
+	// Limiter applies admission control and tenant quotas; nil admits
+	// everything.
+	Limiter *Limiter
+	// KeepSessions leaves online sessions open when the serve loop
+	// ends. The default (false) releases every session this connection
+	// opened and never drained — the disconnect-cleanup path: without
+	// it, a client that vanished mid-session would leak its runtime
+	// and event log in the backend until process exit.
+	KeepSessions bool
+}
+
+// ServeLines runs one protocol session: JSON-lines requests from in,
+// JSON-lines responses to w, against backend b, until EOF, a shutdown
+// request, or an unreadable stream. No request, however malformed,
+// terminates the loop — malformed lines and unknown ops answer
+// bad_request and the loop keeps serving.
+//
+// ctx is the session's base context: every per-request context
+// (timeout_ms deadlines included) derives from it, so canceling ctx —
+// a closed connection, a stopping server — stops in-flight work at its
+// next probe. ServeLines waits for its async handlers before
+// returning; it never writes to w afterwards.
+//
+// This one function is the protocol implementation for every
+// transport: cmd/moldschedd runs it on stdin/stdout, Server runs it
+// per TCP connection. The conformance suite (conformance_test.go)
+// pins that the two transports stay byte-equivalent.
+func ServeLines(ctx context.Context, b Backend, in io.Reader, w io.Writer, cfg ServeConfig) error {
+	out := &writer{enc: json.NewEncoder(w)}
+	sess := &session{b: b, out: out, cfg: cfg, opened: make(map[uint64]bool), barrier: closedBarrier()}
+	if !cfg.KeepSessions {
+		defer sess.releaseSessions()
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28) // table-backed instances can be large
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			out.send(Response{Op: "error", Code: codeBadRequest, Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		if !sess.handle(ctx, req) {
+			return nil
+		}
+	}
+	// Wait for in-flight async handlers on EVERY exit path (the
+	// shutdown case waits separately before acking): a handler that
+	// outlives serve would write into w after the caller has moved on
+	// — for an embedder reading a bytes.Buffer, a data race.
+	sess.pending.Wait()
+	return sc.Err()
+}
+
+// writer serializes concurrent response emission onto one stream.
+type writer struct {
+	mu  sync.Mutex
+	enc *json.Encoder //sched:guardedby mu
+	err error         //sched:guardedby mu
+}
+
+// send encodes one response. Write errors are latched, not fatal: a
+// TCP peer that disappeared mid-response must not crash the server,
+// and every later send on the session becomes a no-op.
+func (w *writer) send(r Response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(r)
+}
+
+// session is the per-connection protocol state: declared tenant, the
+// online sessions opened here (released on disconnect), and which
+// tickets asked for full schedules.
+type session struct {
+	b   Backend
+	out *writer
+	cfg ServeConfig
+
+	tenant  string          // connection-declared tenant (hello); read-loop only
+	opened  map[uint64]bool // online sessions opened on this connection; read-loop only
+	pending sync.WaitGroup  // all async handlers
+	// barrier closes when every submit read so far has finished its
+	// handler (ticket assigned or error replied). The head of the chain
+	// is touched by the read loop only; the channels carry the
+	// cross-goroutine ordering (see the submit and result cases).
+	barrier chan struct{}
+	// wantSched marks tickets whose submit asked for the full
+	// placement (Request.Schedule). Written by submit handlers, read
+	// by result handlers — both off the read loop, hence a sync.Map.
+	wantSched sync.Map // ticket id → bool
+}
+
+// handle dispatches one request; false means shutdown.
+func (s *session) handle(ctx context.Context, req Request) bool {
+	switch req.Op {
+	case "hello":
+		// Bind (or re-bind) the connection's tenant. Cheap and
+		// un-quota'd: it is how a tenant identifies itself.
+		s.tenant = req.Tenant
+		s.out.send(Response{Op: "hello", Tag: req.Tag, Tenant: s.tenant})
+	case "submit":
+		if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
+			s.out.send(Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+			return true
+		}
+		// Validation (O(probes) per job) must not stall request
+		// intake; handle off the read loop like result-wait. Clients
+		// correlate the reply by tag. Each submit extends the barrier
+		// chain: its link closes once its own handler AND every earlier
+		// submit's are done.
+		prev := s.barrier
+		next := make(chan struct{})
+		s.barrier = next
+		s.pending.Add(1)
+		go func(req Request) {
+			defer s.pending.Done()
+			s.handleSubmit(ctx, req)
+			<-prev
+			close(next)
+		}(req)
+	case "result":
+		if req.Wait {
+			// Waiting must not block the read loop: answer from a
+			// goroutine; the response carries the id. Let submits
+			// read before this request land first (the barrier
+			// snapshot), so a sequential script (submit, then result
+			// for its ticket) never races the async submit handler.
+			barrier := s.barrier
+			s.pending.Add(1)
+			go func(id uint64) {
+				defer s.pending.Done()
+				<-barrier
+				res, ok := s.b.Wait(id)
+				s.sendResult(id, res, ok, true)
+			}(req.ID)
+		} else {
+			res, done, known := s.b.Poll(req.ID)
+			s.sendResult(req.ID, res, known, done)
+		}
+	case "open_online":
+		s.handleOpenOnline(req)
+	case "arrive":
+		s.handleArrive(ctx, req)
+	case "trace":
+		evs, err := s.b.OnlineTrace(req.ID)
+		if err != nil {
+			s.out.send(Response{Op: "trace", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+			return true
+		}
+		s.out.send(Response{Op: "trace", ID: req.ID, Events: wireEvents(evs)})
+	case "drain":
+		s.handleDrain(ctx, req)
+	case "stats":
+		st := s.b.Stats()
+		s.out.send(Response{Op: "stats", Tag: req.Tag, Stats: &st})
+	case "shutdown":
+		s.pending.Wait()
+		s.out.send(Response{Op: "shutdown", Tag: req.Tag})
+		return false
+	default:
+		s.out.send(Response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+	return true
+}
+
+// releaseSessions abandons every online session this connection opened
+// and never drained. Runs after the read loop ends (EOF, disconnect,
+// shutdown); ReleaseOnline is idempotent, so sessions that were
+// properly drained are no-ops.
+func (s *session) releaseSessions() {
+	s.pending.Wait() // handlers may still be registering tickets
+	for id := range s.opened {
+		s.b.ReleaseOnline(id)
+	}
+}
+
+func (s *session) handleSubmit(ctx context.Context, req Request) {
+	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
+	if err != nil {
+		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		return
+	}
+	in, err := moldable.UnmarshalInstance(req.Instance)
+	if err != nil {
+		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("bad instance: %v", err)})
+		return
+	}
+	// Per-submission deadline: created before validation so timeout_ms
+	// bounds the monotonicity probing as well as the scheduling; the
+	// context then travels with the ticket, so an expired deadline
+	// abandons queued work and stops a running dual search at its next
+	// probe. The watcher releases the timer as soon as the ticket
+	// completes, whoever collects it.
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		// Clamp before converting: a huge timeout_ms (client shorthand
+		// for "no deadline") would overflow time.Duration to a negative
+		// value and cancel the submission instantly.
+		ns := req.TimeoutMS * float64(time.Millisecond)
+		d := time.Duration(math.MaxInt64)
+		if ns < float64(math.MaxInt64) {
+			d = time.Duration(ns)
+		}
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	// Admission: claim an in-flight slot before the expensive work
+	// (validation included). A submission with a deadline queues for
+	// capacity until the deadline arrives — deadline-based shedding —
+	// while one without is shed immediately; both report "overloaded".
+	if err := s.cfg.Limiter.acquire(ctx, req.TimeoutMS > 0); err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	if err := in.ValidateCtx(ctx, s.cfg.Probes); err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		s.cfg.Limiter.release()
+		// Every validation failure is a client-input problem: keep the
+		// typed codes (not_monotone, canceled, …) but never report
+		// "internal" for structural errors like m < 1 — that reads as a
+		// server fault.
+		code := scherr.Code(err)
+		if code == scherr.CodeInternal {
+			code = codeBadRequest
+		}
+		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: code, Error: fmt.Sprintf("invalid instance: %v", err)})
+		return
+	}
+	id := s.b.SubmitCtx(ctx, in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
+	if req.Schedule {
+		s.wantSched.Store(id, true)
+	}
+	// Hold the admission slot (and the deadline timer) until the
+	// ticket completes, whoever collects it — in-flight means
+	// submitted-but-unfinished, not merely enqueued.
+	if done, ok := s.b.Done(id); ok {
+		s.pending.Add(1)
+		go func() {
+			defer s.pending.Done()
+			<-done
+			s.cfg.Limiter.release()
+			if cancel != nil {
+				cancel()
+			}
+		}()
+	} else {
+		s.cfg.Limiter.release()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	s.out.send(Response{Op: "submit", Tag: req.Tag, ID: id})
+}
+
+// handleOpenOnline creates an online session. Runs on the read loop:
+// session ops are order-dependent (see docs/PROTOCOL.md).
+func (s *session) handleOpenOnline(req Request) {
+	if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
+		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
+	if err != nil {
+		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		return
+	}
+	policy, err := online.ParsePolicy(orDefault(req.Policy, "epoch"))
+	if err != nil {
+		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		return
+	}
+	id, err := s.b.OpenOnline(online.Config{
+		M: req.M, Policy: policy, Algorithm: algo, Eps: req.Eps,
+		EpochMin: moldable.Time(req.EpochMin), EpochGrow: req.EpochGrow,
+	})
+	if err != nil {
+		code := wireCode(err)
+		if code == scherr.CodeInternal {
+			code = codeBadRequest // config problems are client input, not server faults
+		}
+		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: code, Error: err.Error()})
+		return
+	}
+	s.opened[id] = true
+	s.out.send(Response{Op: "open_online", Tag: req.Tag, ID: id})
+}
+
+// handleArrive admits one arrival into a session.
+func (s *session) handleArrive(ctx context.Context, req Request) {
+	if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	if len(req.Job) == 0 {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: "arrive needs a job"})
+		return
+	}
+	job, err := moldable.UnmarshalJob(req.Job)
+	if err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: fmt.Sprintf("bad job: %v", err)})
+		return
+	}
+	// Same admission checks as submit: a non-monotone job must be
+	// rejected at the door, not poison the session's planner later.
+	// Probe over the session's machine size.
+	m, err := s.b.OnlineMachine(req.ID)
+	if err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	if err := moldable.CheckMonotone(job, m, s.cfg.Probes); err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: scherr.Code(err), Error: fmt.Sprintf("invalid job: %v", err)})
+		return
+	}
+	if err := s.cfg.Limiter.acquire(ctx, false); err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	evs, err := s.b.OnlineArrive(ctx, req.ID, online.Arrival{T: moldable.Time(req.T), Job: job})
+	s.cfg.Limiter.release()
+	if err != nil {
+		s.out.send(Response{Op: "arrive", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		return
+	}
+	s.out.send(Response{Op: "arrive", ID: req.ID, Events: wireEvents(evs)})
+}
+
+// handleDrain runs a session to completion and reports its metrics.
+func (s *session) handleDrain(ctx context.Context, req Request) {
+	if err := s.cfg.Limiter.acquire(ctx, false); err != nil {
+		s.out.send(Response{Op: "drain", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		return
+	}
+	evs, met, err := s.b.OnlineDrain(ctx, req.ID)
+	s.cfg.Limiter.release()
+	if err != nil {
+		s.out.send(Response{Op: "drain", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		return
+	}
+	delete(s.opened, req.ID) // drained: nothing left to release on disconnect
+	s.out.send(Response{
+		Op: "drain", ID: req.ID, Events: wireEvents(evs),
+		Makespan: met.Makespan, MeanWait: float64(met.MeanWait), MeanFlow: float64(met.MeanFlow),
+		MaxFlow: float64(met.MaxFlow), Util: met.Utilization,
+		Replans: met.Replans, Fallbacks: met.Fallbacks, Finished: met.Finished,
+	})
+}
+
+// onlineCode maps a session-op error to a wire code: unknown sessions
+// get the ticket code, the serving-layer and typed taxonomies pass
+// through, and runtime stream violations (out-of-order arrivals,
+// arrival-after-drain) are client input.
+func onlineCode(err error) string {
+	if code := wireCode(err); code != scherr.CodeInternal {
+		return code
+	}
+	return codeBadRequest
+}
+
+func (s *session) sendResult(id uint64, res service.Result, known, done bool) {
+	if !known {
+		s.out.send(Response{Op: "result", ID: id, Code: codeUnknownTicket, Error: "unknown or already-collected ticket"})
+		return
+	}
+	resp := Response{Op: "result", ID: id, Done: &done}
+	if !done {
+		s.out.send(resp)
+		return
+	}
+	_, wantSched := s.wantSched.LoadAndDelete(id)
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		resp.Code = wireCode(res.Err)
+		s.out.send(resp)
+		return
+	}
+	resp.Cached = res.Cached
+	rep := res.Report
+	resp.Algorithm = rep.Algorithm.String()
+	resp.Makespan = rep.Makespan
+	resp.LowerBound = rep.LowerBound
+	resp.Ratio = rep.Ratio
+	resp.Iterations = rep.Iterations
+	resp.ElapsedMS = float64(rep.Elapsed.Microseconds()) / 1000
+	resp.Allot = res.Schedule.Allotment(len(res.Schedule.Placements))
+	if wantSched {
+		resp.Starts = make([]moldable.Time, len(res.Schedule.Placements))
+		for _, p := range res.Schedule.Placements {
+			resp.Starts[p.Job] = p.Start
+		}
+	}
+	s.out.send(resp)
+}
+
+// closedBarrier is the chain's seed: with no submits read yet, a
+// result-wait proceeds immediately.
+func closedBarrier() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

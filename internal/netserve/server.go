@@ -1,0 +1,231 @@
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ServerConfig sizes a Server.
+type ServerConfig struct {
+	// Shards is the backend scheduler count (≤ 0 selects 1); Service
+	// configures each shard.
+	Shards  int
+	Service service.Config
+	// Limits is the admission-control and quota policy, shared by all
+	// connections. The zero value admits everything.
+	Limits Limits
+	// Probes is the monotonicity probe budget per submitted job.
+	Probes int
+	// IdleSession, when > 0, reaps online sessions idle longer than
+	// this (checked at IdleSession/4 granularity, at least every
+	// second) — the backstop for owners that vanish without a
+	// disconnect (per-connection cleanup already covers clean and
+	// abrupt disconnects).
+	IdleSession time.Duration
+}
+
+// Server is the network front door: a concurrent TCP listener running
+// one protocol session per connection against a sharded Router, plus
+// an HTTP handler for health and stats. Create with NewServer, attach
+// listeners with Serve (TCP) and Handler (HTTP), stop with Close.
+type Server struct {
+	cfg    ServerConfig
+	router *Router
+	lim    *Limiter
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	lns    []net.Listener        //sched:guardedby mu
+	conns  map[net.Conn]struct{} //sched:guardedby mu
+	closed bool                  //sched:guardedby mu
+}
+
+// NewServer builds the router and starts the idle-session reaper. ctx
+// bounds the server's lifetime: when it ends, every connection's
+// in-flight work is canceled (Close still must be called).
+func NewServer(ctx context.Context, cfg ServerConfig) *Server {
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Server{
+		cfg:    cfg,
+		router: NewRouter(sctx, RouterConfig{Shards: cfg.Shards, Service: cfg.Service}),
+		lim:    NewLimiter(cfg.Limits),
+		ctx:    sctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if cfg.IdleSession > 0 {
+		period := cfg.IdleSession / 4
+		if period < time.Second {
+			period = time.Second
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(period)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.ctx.Done():
+					return
+				case <-t.C:
+					s.router.ReapOnlineIdle(s.cfg.IdleSession)
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Router exposes the backend router — the chaos tests' kill switch and
+// the shard-level stats source.
+func (s *Server) Router() *Router { return s.router }
+
+// Serve accepts connections on ln until Close (or a fatal listener
+// error) and runs one protocol session per connection. A "shutdown"
+// request over TCP ends its own connection, never the process — a
+// remote client must not be able to take down the fleet's front door.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.addListener(ln) {
+		ln.Close()
+		return net.ErrClosed
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || s.ctx.Err() != nil {
+				return nil // closed by Close; not a fault
+			}
+			return err
+		}
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			cctx, cancel := context.WithCancel(s.ctx)
+			defer cancel()
+			// Errors here are connection-scoped (peer vanished, bad
+			// framing after 256 MiB): the session dies, the server
+			// lives. The deferred cleanup in ServeLines has already
+			// released the connection's online sessions.
+			_ = ServeLines(cctx, s.router, conn, conn, ServeConfig{Probes: s.cfg.Probes, Limiter: s.lim})
+		}()
+	}
+}
+
+// addListener registers ln for Close; false means the server is
+// already closed.
+func (s *Server) addListener(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.lns = append(s.lns, ln)
+	return true
+}
+
+// track registers or unregisters a live connection so Close can
+// unblock their read loops.
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// Handler returns the HTTP side of the server:
+//
+//	GET /healthz — 200 "ok" when every shard is alive, 503 with the
+//	               dead shard ids otherwise
+//	GET /stats   — JSON {"stats": aggregate, "shards": per-shard,
+//	               "alive": []bool}
+//	POST /rpc    — the wire protocol over HTTP: the request body is
+//	               JSON-lines requests, the response body the
+//	               JSON-lines responses (one protocol session per
+//	               HTTP request)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var dead []int
+		for i := 0; i < s.router.Shards(); i++ {
+			if !s.router.Alive(i) {
+				dead = append(dead, i)
+			}
+		}
+		if len(dead) == 0 {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "degraded", "dead_shards": dead})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		shards := make([]service.Stats, s.router.Shards())
+		alive := make([]bool, s.router.Shards())
+		for i := range shards {
+			shards[i] = s.router.ShardStats(i)
+			alive[i] = s.router.Alive(i)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"stats": s.router.Stats(), "shards": shards, "alive": alive,
+		})
+	})
+	mux.HandleFunc("POST /rpc", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = ServeLines(req.Context(), s.router, req.Body, w, ServeConfig{Probes: s.cfg.Probes, Limiter: s.lim})
+	})
+	return mux
+}
+
+// Close stops accepting, unblocks and joins every connection, cancels
+// in-flight work, and shuts the shards down. Idempotent.
+func (s *Server) Close() {
+	lns, conns, already := s.beginClose()
+	if already {
+		return
+	}
+	s.cancel()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close() // unblock blocked Reads
+	}
+	s.wg.Wait()
+	s.router.Close()
+}
+
+// beginClose atomically flips the server closed and takes ownership of
+// the listener and connection sets; already=true means a prior Close
+// won.
+func (s *Server) beginClose() (lns []net.Listener, conns []net.Conn, already bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, true
+	}
+	s.closed = true
+	lns = s.lns
+	s.lns = nil
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return lns, conns, false
+}

@@ -1,0 +1,411 @@
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/moldable"
+	"repro/internal/online"
+	"repro/internal/service"
+)
+
+// --- Limiter ---
+
+func TestLimiterAdmission(t *testing.T) {
+	l := NewLimiter(Limits{MaxInflight: 2})
+	ctx := context.Background()
+	if err := l.acquire(ctx, false); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := l.acquire(ctx, false); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	// Budget exhausted: a no-deadline request sheds immediately, typed.
+	if err := l.acquire(ctx, false); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire: %v, want ErrOverloaded", err)
+	}
+	// Deadline-based shedding: a waiting request sheds when its
+	// deadline arrives before capacity does.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := l.acquire(short, true); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("waiting acquire: %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("waiting acquire shed before its deadline")
+	}
+	// A released slot readmits.
+	l.release()
+	if err := l.acquire(ctx, false); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	// The nil limiter admits everything.
+	var nilL *Limiter
+	if err := nilL.acquire(ctx, false); err != nil {
+		t.Fatalf("nil limiter: %v", err)
+	}
+	nilL.release()
+	if err := nilL.takeToken("acme"); err != nil {
+		t.Fatalf("nil limiter token: %v", err)
+	}
+}
+
+func TestLimiterQuota(t *testing.T) {
+	// Burst 2 at a negligible refill rate: two requests pass, the third
+	// sheds; a different tenant draws from its own bucket.
+	l := NewLimiter(Limits{QuotaRate: 0.001, QuotaBurst: 2})
+	for i := 0; i < 2; i++ {
+		if err := l.takeToken("acme"); err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+	}
+	if err := l.takeToken("acme"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-quota token: %v, want ErrOverloaded", err)
+	}
+	if err := l.takeToken("globex"); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	// Anonymous connections share the "" bucket rather than bypassing.
+	if err := l.takeToken(""); err != nil {
+		t.Fatalf("anonymous first: %v", err)
+	}
+	// Quotas disabled: unlimited.
+	open := NewLimiter(Limits{})
+	for i := 0; i < 100; i++ {
+		if err := open.takeToken("acme"); err != nil {
+			t.Fatalf("unlimited token %d: %v", i, err)
+		}
+	}
+}
+
+// --- Wire-level shedding (deterministic via a stub backend) ---
+
+// stubBackend is a Backend whose tickets complete only when the test
+// closes done — the deterministic way to hold admission slots occupied.
+// Ops the test never exercises fall through to the embedded nil Backend
+// and would panic loudly.
+type stubBackend struct {
+	Backend
+	done chan struct{}
+
+	mu   sync.Mutex
+	next uint64 //sched:guardedby mu
+}
+
+func (b *stubBackend) SubmitCtx(context.Context, *moldable.Instance, core.Options) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.next++
+	return b.next
+}
+
+func (b *stubBackend) Done(uint64) (<-chan struct{}, bool) { return b.done, true }
+
+func TestServeLinesShedsWhenSaturated(t *testing.T) {
+	stub := &stubBackend{done: make(chan struct{})}
+	lim := NewLimiter(Limits{MaxInflight: 1})
+	inst := `{"m":8,"jobs":[{"type":"perfect","w":8}]}`
+
+	inR, inW := io.Pipe()
+	var out lockedBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ServeLines(context.Background(), stub, inR, &out, ServeConfig{Probes: 8, Limiter: lim})
+	}()
+	send := func(line string) {
+		t.Helper()
+		if _, err := io.WriteString(inW, line+"\n"); err != nil {
+			t.Fatalf("write %q: %v", line, err)
+		}
+	}
+
+	// The first submit is acked only after it has claimed the sole
+	// admission slot; its ticket never completes until we say so, so the
+	// slot stays held.
+	send(`{"op":"submit","tag":"first","instance":` + inst + `}`)
+	first := awaitResponse(t, &out, func(r Response) bool { return r.Tag == "first" })
+	if first.Code != "" || first.ID == 0 {
+		t.Fatalf("first submit should have been admitted: %+v", first)
+	}
+	// The second, having no deadline, must shed immediately with the
+	// typed overloaded code.
+	send(`{"op":"submit","tag":"shed","instance":` + inst + `}`)
+	shed := awaitResponse(t, &out, func(r Response) bool { return r.Tag == "shed" })
+	if shed.Code != codeOverloaded {
+		t.Fatalf("saturated submit: code %q, want %q (%+v)", shed.Code, codeOverloaded, shed)
+	}
+	// Completing the held ticket frees the slot — asynchronously, via
+	// the ticket watcher — so retry until the release lands.
+	close(stub.done)
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		tag := "again" + strconv.Itoa(i)
+		send(`{"op":"submit","tag":"` + tag + `","instance":` + inst + `}`)
+		again := awaitResponse(t, &out, func(r Response) bool { return r.Tag == tag })
+		if again.Code == "" {
+			break
+		}
+		if again.Code != codeOverloaded {
+			t.Fatalf("submit after release: %+v", again)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never released after ticket completion")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	inW.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestServeLinesQuotaByTenant(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	lim := NewLimiter(Limits{QuotaRate: 0.001, QuotaBurst: 2})
+	inst := `{"m":8,"jobs":[{"type":"perfect","w":8}]}`
+	lines := []string{
+		`{"op":"hello","tag":"h","tenant":"acme"}`,
+		`{"op":"submit","tag":"q1","instance":` + inst + `}`,
+		`{"op":"submit","tag":"q2","instance":` + inst + `}`,
+		`{"op":"submit","tag":"q3","instance":` + inst + `}`,
+		`{"op":"shutdown","tag":"end"}`,
+	}
+	var out lockedBuffer
+	err := ServeLines(context.Background(), svc, strings.NewReader(strings.Join(lines, "\n")+"\n"), &out, ServeConfig{Probes: 8, Limiter: lim})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	rs := decodeAll(t, out.String())
+	if h := findResp(t, rs, "hello ack", func(r Response) bool { return r.Op == "hello" }); h.Tenant != "acme" {
+		t.Fatalf("hello ack: %+v", h)
+	}
+	var admitted, shed int
+	for _, r := range rs {
+		if r.Op != "submit" {
+			continue
+		}
+		switch r.Code {
+		case "":
+			admitted++
+		case codeOverloaded:
+			shed++
+		default:
+			t.Fatalf("unexpected submit outcome: %+v", r)
+		}
+	}
+	// Tokens are drawn on the read loop in line order: exactly the
+	// burst gets in, the overflow sheds.
+	if admitted != 2 || shed != 1 {
+		t.Fatalf("quota burst 2: admitted %d shed %d, want 2/1", admitted, shed)
+	}
+}
+
+// --- HTTP endpoints ---
+
+func TestServerHTTPEndpoints(t *testing.T) {
+	srv := NewServer(context.Background(), ServerConfig{Shards: 2, Service: service.Config{Workers: 1}, Probes: 8})
+	defer srv.Close()
+	h := srv.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz on healthy fleet: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// The protocol rides over POST /rpc too: one session per request.
+	rpc := httptest.NewRequest(http.MethodPost, "/rpc", strings.NewReader(
+		`{"op":"submit","tag":"r1","instance":{"m":8,"jobs":[{"type":"perfect","w":8}]}}`+"\n"+
+			`{"op":"stats","tag":"r2"}`+"\n"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, rpc)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("rpc content type: %q", ct)
+	}
+	rs := decodeAll(t, rec.Body.String())
+	sub := findResp(t, rs, "rpc submit", func(r Response) bool { return r.Op == "submit" && r.Tag == "r1" })
+	if sub.Code != "" || sub.ID == 0 {
+		t.Fatalf("rpc submit: %+v", sub)
+	}
+	res, known := srv.Router().Wait(sub.ID)
+	if !known || res.Err != nil {
+		t.Fatalf("rpc-submitted ticket: known=%v err=%v", known, res.Err)
+	}
+
+	// Stats aggregates and itemizes per shard.
+	var stats struct {
+		Stats  service.Stats   `json:"stats"`
+		Shards []service.Stats `json:"shards"`
+		Alive  []bool          `json:"alive"`
+	}
+	if rec := get("/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	} else if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if len(stats.Shards) != 2 || len(stats.Alive) != 2 || stats.Stats.Submitted != 1 {
+		t.Fatalf("stats payload: %+v", stats)
+	}
+
+	// A killed shard degrades health with its id in the body.
+	srv.Router().Kill(1)
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "dead_shards") {
+		t.Fatalf("healthz on degraded fleet: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// --- Disconnect and idle-session cleanup (the leak fix) ---
+
+// TestAbruptDisconnectReleasesOnlineSessions pins the leak fix: a
+// client that opens online sessions and vanishes without draining must
+// leave online_sessions at zero once the server notices the
+// disconnect.
+func TestAbruptDisconnectReleasesOnlineSessions(t *testing.T) {
+	srv, addr, errc := startTestServer(t, ServerConfig{Shards: 2, Service: service.Config{Workers: 1}, Probes: 8})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wc, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		id, err := wc.OpenOnline(ctx, online.Config{M: 16, Eps: 0.5})
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if _, err := wc.Arrive(ctx, id, online.Arrival{T: 0, Job: moldable.PerfectSpeedup{W: 4 + float64(i)}}); err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+	}
+	if got := srv.Router().Stats().OnlineSessions; got != 4 {
+		t.Fatalf("before disconnect: %d open sessions, want 4", got)
+	}
+
+	wc.Close() // abrupt: no drains, no shutdown
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Router().Stats().OnlineSessions != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("online sessions leaked after disconnect: %d still open",
+				srv.Router().Stats().OnlineSessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	srv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestIdleSessionReaper pins the backstop for owners that vanish while
+// their connection stays up (a wedged peer, an embedder serving with
+// KeepSessions): sessions idle past the horizon are collected, fresh
+// ones are not.
+func TestIdleSessionReaper(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	id, err := svc.OpenOnline(online.Config{M: 16, Eps: 0.5})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := svc.OnlineArrive(context.Background(), id, online.Arrival{T: 0, Job: moldable.PerfectSpeedup{W: 8}}); err != nil {
+		t.Fatalf("arrive: %v", err)
+	}
+	// Fresh activity is protected...
+	if n := svc.ReapOnlineIdle(time.Hour); n != 0 {
+		t.Fatalf("reaped %d fresh sessions", n)
+	}
+	// ...idle sessions are not.
+	time.Sleep(10 * time.Millisecond)
+	if n := svc.ReapOnlineIdle(time.Millisecond); n != 1 {
+		t.Fatalf("reaped %d idle sessions, want 1", n)
+	}
+	if st := svc.Stats(); st.OnlineSessions != 0 {
+		t.Fatalf("after reap: %d sessions open", st.OnlineSessions)
+	}
+	// The reaped session is gone, typed.
+	if _, err := svc.OnlineTrace(id); !errors.Is(err, service.ErrUnknownSession) {
+		t.Fatalf("trace of reaped session: %v", err)
+	}
+}
+
+// --- helpers ---
+
+// lockedBuffer is a mutex-guarded output sink: ServeLines writes from
+// handler goroutines while tests read concurrently.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder //sched:guardedby mu
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// awaitResponse polls the buffer until a response matches pred.
+func awaitResponse(t *testing.T, out *lockedBuffer, pred func(Response) bool) Response {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, r := range decodeAll(t, out.String()) {
+			if pred(r) {
+				return r
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no matching response in %q", out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func decodeAll(t *testing.T, s string) []Response {
+	t.Helper()
+	var rs []Response
+	dec := json.NewDecoder(strings.NewReader(s))
+	for dec.More() {
+		var r Response
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decoding %q: %v", s, err)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func findResp(t *testing.T, rs []Response, what string, pred func(Response) bool) Response {
+	t.Helper()
+	for _, r := range rs {
+		if pred(r) {
+			return r
+		}
+	}
+	t.Fatalf("no %s response in %+v", what, rs)
+	return Response{}
+}

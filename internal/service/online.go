@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/online"
 	"repro/internal/scherr"
@@ -32,7 +34,15 @@ type onlineSession struct {
 	m   int // machine size, for admission-time job validation
 	rt  online.Runtime //sched:guardedby mu
 	log []online.Event //sched:guardedby mu
+	// lastUsed is the wall-clock nanosecond timestamp of the last
+	// session op, for idle reaping (ReapOnlineIdle). Atomic, not
+	// mu-guarded: the reaper must read it without taking every
+	// session's mutex (a drain can hold mu for a long time).
+	lastUsed atomic.Int64
 }
+
+// touch stamps the session as just-used.
+func (sess *onlineSession) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // OpenOnline creates an online session and returns its ticket.
 // Sessions share the id space of batch tickets but are collected with
@@ -43,7 +53,9 @@ func (s *Scheduler) OpenOnline(cfg online.Config) (uint64, error) {
 		return 0, err
 	}
 	id := s.nextID.Add(1)
-	s.onlines.Store(id, &onlineSession{m: cfg.M, rt: rt})
+	sess := &onlineSession{m: cfg.M, rt: rt}
+	sess.touch()
+	s.onlines.Store(id, sess)
 	s.onlineOpened.Add(1)
 	return id, nil
 }
@@ -122,5 +134,41 @@ func (s *Scheduler) online(id uint64) (*onlineSession, error) {
 	if !ok {
 		return nil, ErrUnknownSession
 	}
-	return v.(*onlineSession), nil
+	sess := v.(*onlineSession)
+	sess.touch()
+	return sess, nil
+}
+
+// ReleaseOnline drops an open session without draining it: admitted
+// but unfinished work is abandoned and the ticket is released. It is
+// the cleanup path for sessions whose owner disappeared — a network
+// connection that vanished mid-session cannot drain, and before this
+// existed its sessions leaked (held their runtime and event log until
+// process exit). Idempotent; reports whether a session was released.
+func (s *Scheduler) ReleaseOnline(id uint64) bool {
+	_, ok := s.onlines.LoadAndDelete(id)
+	return ok
+}
+
+// ReapOnlineIdle releases every open session whose last operation
+// (open, arrive, trace, drain attempt) is older than maxIdle,
+// returning how many were reaped. Serving layers run this
+// periodically so sessions abandoned without a disconnect signal —
+// the client process died, the connection is wedged half-open — are
+// still bounded in lifetime. maxIdle ≤ 0 reaps nothing.
+func (s *Scheduler) ReapOnlineIdle(maxIdle time.Duration) int {
+	if maxIdle <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	reaped := 0
+	s.onlines.Range(func(k, v any) bool {
+		if v.(*onlineSession).lastUsed.Load() < cutoff {
+			if _, ok := s.onlines.LoadAndDelete(k); ok {
+				reaped++
+			}
+		}
+		return true
+	})
+	return reaped
 }
