@@ -247,7 +247,7 @@ func BenchmarkFig1_ReductionPipeline(b *testing.B) {
 // grid touches the oracle O(log(log m)·…) fewer times per probe than
 // Linear's full-range γ searches, so its advantage must grow with m —
 // the acceptance bar is conv < linear wall-clock at m ≥ 2^18,
-// snapshotted in BENCH_PR5.json (docs/PERFORMANCE.md has the table).
+// snapshotted since BENCH_PR5.json (BENCH_PR9.json is current; docs/PERFORMANCE.md has the table).
 func BenchmarkCrossover_ConvVsLinear(b *testing.B) {
 	for _, m := range []int{1 << 14, 1 << 16, 1 << 18, 1 << 20} {
 		in := moldable.Random(moldable.GenConfig{N: 256, M: m, Seed: 42})

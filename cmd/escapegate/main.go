@@ -3,18 +3,18 @@
 // over every package containing a //sched:hotpath function, attributes
 // the "escapes to heap"/"moved to heap" diagnostics to those
 // functions, and compares the result against a committed baseline
-// (ESCAPE_PR7.json) — the same snapshot-and-gate contract as
+// (ESCAPE_PR9.json) — the same snapshot-and-gate contract as
 // cmd/benchreport, but catching allocation regressions at compile time
 // instead of waiting for an allocs/op benchmark to drift.
 //
 // Two modes:
 //
 //	# snapshot: record today's escape/inlining facts
-//	go run ./cmd/escapegate -out ESCAPE_PR7.json
+//	go run ./cmd/escapegate -out ESCAPE_PR9.json
 //
 //	# gate: fail (exit 1) if a hot-path function gained a heap escape
 //	# or a previously inlinable one stopped inlining
-//	go run ./cmd/escapegate -check ESCAPE_PR7.json
+//	go run ./cmd/escapegate -check ESCAPE_PR9.json
 //
 // Per hot-path function the snapshot stores the multiset of escape
 // messages (positions stripped, so unrelated edits above a function

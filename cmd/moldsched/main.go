@@ -16,10 +16,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
 	"repro/internal/sim"
@@ -36,6 +38,7 @@ func main() {
 		cert    = flag.Bool("cert", false, "emit and re-verify the §2 certificate (allotment + order)")
 		simFlag = flag.Bool("sim", false, "execute the schedule on the discrete-event simulator")
 		svgPath = flag.String("svg", "", "write the schedule as SVG to this path")
+		trace   = flag.Bool("trace", false, "print the sampled scheduling decision traces after the run (docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -46,6 +49,9 @@ func main() {
 	// mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Tag the run so -trace can show which decisions this invocation
+	// drove (the ring is process-global; the id separates them).
+	ctx = obs.WithTraceID(ctx, "cli")
 
 	// Parse the algorithm before reading the instance: a typo in -algo
 	// (the error enumerates the valid names, case-insensitively) should
@@ -124,5 +130,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("svg:        %s\n", *svgPath)
+	}
+	if *trace {
+		printTraces()
+	}
+}
+
+// printTraces renders the sampled decision traces of this process —
+// every ScheduleCtx above records into the obs ring — oldest first.
+func printTraces() {
+	evs := obs.SnapshotTraces(32)
+	fmt.Printf("\ndecision traces (%d sampled, oldest first):\n", len(evs))
+	for _, e := range evs {
+		line := fmt.Sprintf("  [%s/%s] algo=%s n=%d m=%d eps=%g probes=%d elapsed=%v makespan=%.6g omega=%.6g",
+			e.Source, e.TID, e.Algo, e.N, e.M, e.Eps, e.Probes, time.Duration(e.Elapsed), e.Makespan, e.Omega)
+		if e.Code != "" {
+			line += " code=" + e.Code
+		}
+		fmt.Println(line)
 	}
 }

@@ -70,6 +70,14 @@
 // handled on the read loop in request order — a session is stateful
 // and its arrivals are meaningful only in sequence.
 //
+// Every response carries a "trace_id" echoing the request's (or a
+// server-assigned "t-<n>" when the request carried none); a stats
+// request with "trace":true additionally returns the sampled
+// scheduling decision traces (docs/OBSERVABILITY.md). -debug-addr
+// serves GET /metrics (Prometheus text format) and net/http/pprof on a
+// separate address in every mode, pipe mode included; it is off by
+// default.
+//
 // Error responses carry a stable "code" alongside the human-readable
 // "error" text, from the typed taxonomy of internal/scherr:
 // "not_monotone", "regime", "canceled", "bad_eps", "internal", plus
@@ -91,6 +99,7 @@ import (
 	"time"
 
 	"repro/internal/netserve"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -111,6 +120,7 @@ func main() {
 		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant request quota in req/s (0: no quotas)")
 		quotaBurst  = flag.Float64("quota-burst", 0, "per-tenant quota burst capacity (0: defaults to max(1, quota-rate))")
 		idleSession = flag.Duration("idle-session", 0, "reap online sessions idle longer than this (0: never)")
+		debugAddr   = flag.String("debug-addr", "", "serve GET /metrics (Prometheus text) and /debug/pprof on this HTTP address (off when empty)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -131,6 +141,12 @@ func main() {
 		// control — the peer on the other end of the pipe is trusted.
 		svc := service.New(svcCfg)
 		defer svc.Close()
+		if *debugAddr != "" {
+			// The debug server lives until process exit; its error lands
+			// on a buffered channel nobody needs to drain in pipe mode —
+			// a dead debug listener must not stop request serving.
+			startDebug(*debugAddr, func() { service.PublishStats(svc.Stats()) }, make(chan error, 1))
+		}
 		if err := netserve.ServeLines(ctx, svc, os.Stdin, os.Stdout, netserve.ServeConfig{Probes: *probes}); err != nil {
 			log.Fatalf("reading stdin: %v", err)
 		}
@@ -150,9 +166,12 @@ func main() {
 	})
 	defer srv.Close()
 
-	// Both listeners report onto one channel; the first fatal error (or
+	// All listeners report onto one channel; the first fatal error (or
 	// clean stop) takes the daemon down through srv.Close above.
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
+	if *debugAddr != "" {
+		startDebug(*debugAddr, srv.RefreshObsGauges, errc)
+	}
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -169,4 +188,15 @@ func main() {
 	if err := <-errc; err != nil {
 		log.Fatalf("serving: %v", err)
 	}
+}
+
+// startDebug serves the observability surface — GET /metrics in
+// Prometheus text format plus net/http/pprof — on its own address,
+// kept off the protocol and HTTP listeners so profiling endpoints are
+// never exposed by default. refresh republishes the scrape-time gauges
+// before each /metrics render.
+func startDebug(addr string, refresh func(), errc chan<- error) {
+	ds := &http.Server{Addr: addr, Handler: obs.DebugHandler(refresh), ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("serving debug endpoints (/metrics, /debug/pprof) on %s", addr)
+	go func() { errc <- ds.ListenAndServe() }()
 }

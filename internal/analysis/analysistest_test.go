@@ -123,6 +123,13 @@ func TestWireCodeCorpusDaemon(t *testing.T) {
 	runCorpus(t, []*Analyzer{WireCode}, "wirecode/daemon", "corpus/cmd/daemon")
 }
 
+func TestObsRegCorpus(t *testing.T) {
+	ObservabilityDocOverride = filepath.Join("testdata", "src", "obsreg", "OBSERVABILITY.md")
+	defer func() { ObservabilityDocOverride = "" }()
+	runCorpus(t, []*Analyzer{ObsReg}, "obsreg/obs", "corpus/internal/obs")
+	runCorpus(t, []*Analyzer{ObsReg}, "obsreg/client", "corpus/internal/client")
+}
+
 func TestPkgDocCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/nodoc", "corpus/internal/nodoc")
 	runCorpus(t, []*Analyzer{PkgDoc}, "pkgdoc/good", "corpus/internal/good")
@@ -179,7 +186,7 @@ func TestCorpusDirsCovered(t *testing.T) {
 		"hotalloc": true, "fpconv": true, "ctxflow": true,
 		"resetcheck": true, "wirecode": true, "pkgdoc": true,
 		"ignore": true, "scratchown": true, "lockguard": true,
-		"goroleak": true,
+		"goroleak": true, "obsreg": true,
 	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {

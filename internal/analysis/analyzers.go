@@ -1,14 +1,16 @@
 package analysis
 
 // All returns the full schedlint suite in the order findings are most
-// useful to read: structural invariants first (docs, wire protocol),
-// then the semantic ones (context, FP safety, hot-path allocations,
-// scratch reuse), then the ownership and concurrency family added in
-// PR 7 (scratch escape, lock discipline, goroutine joins).
+// useful to read: structural invariants first (docs, wire protocol,
+// metric catalog), then the semantic ones (context, FP safety,
+// hot-path allocations, scratch reuse), then the ownership and
+// concurrency family added in PR 7 (scratch escape, lock discipline,
+// goroutine joins).
 func All() []*Analyzer {
 	return []*Analyzer{
 		PkgDoc,
 		WireCode,
+		ObsReg,
 		CtxFlow,
 		FPConv,
 		HotAlloc,

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ObsReg keeps the observability surface honest, the wirecode pattern
+// applied to metrics: every metric of the obs registry is registered
+// exactly once, from the central catalog (internal/obs/metrics.go),
+// under a string-literal name, and has a matching row in the metrics
+// table of docs/OBSERVABILITY.md. The doc table is what operators
+// build dashboards and alerts against; a metric added without a row —
+// or a row whose metric was renamed away — is silent drift this
+// analyzer turns into a build failure. Registration outside package
+// obs is flagged too: scattering registrations would defeat both the
+// exactly-once guarantee (duplicate names panic at init) and the
+// catalog's role as the single place to audit instrument coverage.
+var ObsReg = &Analyzer{
+	Name: "obsreg",
+	Doc:  "obs metrics must be registered once, centrally, and documented in docs/OBSERVABILITY.md",
+	Run:  runObsReg,
+}
+
+// ObservabilityDocOverride, when non-empty, is used instead of
+// <module root>/docs/OBSERVABILITY.md — the hook the golden corpora
+// use to supply fixture docs.
+var ObservabilityDocOverride string
+
+// registryConstructors are the Registry methods that mint a metric;
+// their first argument is the metric name.
+var registryConstructors = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func runObsReg(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return obsCheckCatalog(pass)
+	}
+	return obsCheckOutside(pass)
+}
+
+// registryCall reports whether call is a metric constructor on a
+// *Registry receiver, returning the method name.
+func registryCall(pass *Pass, call *ast.CallExpr) (method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !registryConstructors[sel.Sel.Name] {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// metricName extracts the literal metric name of a registry call;
+// ok=false means the name is not a plain string literal.
+func metricName(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, isLit := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !isLit || len(lit.Value) < 2 || lit.Value[0] != '"' {
+		return "", false
+	}
+	return lit.Value[1 : len(lit.Value)-1], true
+}
+
+// obsCheckCatalog verifies the registry package itself: literal,
+// unique names, in lockstep with the doc table.
+func obsCheckCatalog(pass *Pass) error {
+	seen := map[string]ast.Node{}
+	var names []string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			method, isReg := registryCall(pass, call)
+			if !isReg {
+				return true
+			}
+			name, literal := metricName(call)
+			if !literal {
+				pass.Report(call.Pos(), "obsreg: %s registration must use a string-literal metric name (the doc diff needs it)", method)
+				return true
+			}
+			if prev, dup := seen[name]; dup {
+				pass.Report(call.Pos(), "obsreg: metric %q registered more than once (previous at %s) — duplicate names panic at init", name, pass.Fset.Position(prev.Pos()))
+				return true
+			}
+			seen[name] = call
+			names = append(names, name)
+			return true
+		})
+	}
+	sort.Strings(names)
+
+	docNames, pos, ok := observabilityTable(pass)
+	if !ok {
+		return nil
+	}
+	docSet := toSet(docNames)
+	for _, n := range names {
+		if !docSet[n] {
+			pass.Report(seen[n].Pos(), "obsreg: metric %q has no row in the metrics table of docs/OBSERVABILITY.md — document it", n)
+		}
+	}
+	srcSet := toSet(names)
+	for _, n := range docNames {
+		if !srcSet[n] {
+			pass.Report(pos, "obsreg: docs/OBSERVABILITY.md lists metric %q but nothing registers it — stale doc or missing registration", n)
+		}
+	}
+	return nil
+}
+
+// observabilityTable parses the "## Metrics" section of
+// docs/OBSERVABILITY.md and returns the backticked metric name of each
+// table row.
+func observabilityTable(pass *Pass) (names []string, pos token.Pos, ok bool) {
+	pos = pass.Files[0].Package
+	path := ObservabilityDocOverride
+	if path == "" {
+		if pass.ModRoot == "" {
+			pass.Report(pass.Files[0].Package, "obsreg: cannot locate docs/OBSERVABILITY.md (unknown module root)")
+			return nil, pos, false
+		}
+		path = filepath.Join(pass.ModRoot, "docs", "OBSERVABILITY.md")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		pass.Report(pass.Files[0].Package, "obsreg: cannot read %s: %v", path, err)
+		return nil, pos, false
+	}
+	section := sectionOf(string(data), "## Metrics")
+	if section == "" {
+		pass.Report(pass.Files[0].Package, "obsreg: %s has no \"## Metrics\" section", path)
+		return nil, pos, false
+	}
+	for _, table := range codeTables(section) {
+		names = append(names, table...)
+	}
+	if len(names) == 0 {
+		pass.Report(pass.Files[0].Package, "obsreg: the \"## Metrics\" section of %s contains no metric rows", path)
+		return nil, pos, false
+	}
+	return names, pos, true
+}
+
+// obsCheckOutside flags metric registration anywhere but the obs
+// package itself.
+func obsCheckOutside(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			method, isReg := registryCall(pass, call)
+			if !isReg {
+				return true
+			}
+			if name, literal := metricName(call); literal {
+				pass.Report(call.Pos(), "obsreg: metric %q registered outside the obs package — add it to the catalog (internal/obs/metrics.go) so the doc diff and the exactly-once guarantee cover it", name)
+			} else {
+				pass.Report(call.Pos(), "obsreg: %s registration outside the obs package — register metrics in the catalog (internal/obs/metrics.go)", method)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package client registers metrics outside the obs catalog — the
+// scattered-registration shape the obsreg analyzer rejects everywhere
+// but package obs.
+package client
+
+// Registry mimics obs.Registry; the analyzer matches by type name.
+type Registry struct{}
+
+// Counter is a stub metric kind.
+type Counter struct{}
+
+// Counter mints a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+var reg = &Registry{}
+
+var rogue = reg.Counter("rogue_total", "minted ad hoc") // want "metric \"rogue_total\" registered outside the obs package"
+
+func alsoRogue(name string) *Counter {
+	return reg.Counter(name, "dynamic, still outside") // want "Counter registration outside the obs package"
+}

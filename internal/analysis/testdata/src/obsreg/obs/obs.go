@@ -1,0 +1,44 @@
+// Package obs is the fixture metric catalog for the obsreg analyzer:
+// the analyzer treats any package named "obs" as the catalog and
+// checks literal, unique, documented registration.
+package obs // want "docs/OBSERVABILITY.md lists metric \"stale_total\" but nothing registers it"
+
+// Registry mimics the real obs.Registry shape: the analyzer matches
+// metric-constructor methods on any type named Registry.
+type Registry struct{}
+
+// Counter is a stub metric kind.
+type Counter struct{}
+
+// Gauge is a stub metric kind.
+type Gauge struct{}
+
+// Counter mints a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge mints a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// CounterVec mints a labeled counter family.
+func (r *Registry) CounterVec(name, label, help string, vals []string) *Counter { return &Counter{} }
+
+// Default is the fixture's process-wide registry.
+var Default = &Registry{}
+
+var computedName = "computed_" + "total"
+
+var (
+	// Registered and documented: clean.
+	Good = Default.Counter("documented_total", "has a doc row")
+	Also = Default.Gauge("documented_depth", "has a doc row too")
+
+	// Registered but missing from the doc table.
+	Undoc = Default.Counter("undocumented_total", "no doc row") // want "metric \"undocumented_total\" has no row in the metrics table"
+
+	// Same name minted twice: would panic at init, and splits the
+	// series' meaning.
+	Dup = Default.Gauge("documented_depth", "duplicate") // want "metric \"documented_depth\" registered more than once"
+
+	// A computed name defeats the doc diff.
+	NonLit = Default.Counter(computedName, "dynamic name") // want "must use a string-literal metric name"
+)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/lt"
 	"repro/internal/moldable"
 	"repro/internal/mrt"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
 )
@@ -142,6 +143,66 @@ type Scratch struct {
 	Fast fast.Scratch
 	FP   fptas.Scratch
 	MRT  mrt.Scratch
+
+	// trace is the per-scratch decision ring (docs/OBSERVABILITY.md),
+	// created lazily at the first recorded decision — a warm-up
+	// allocation, like the buffer growth above, so the steady state
+	// stays at 0 allocs/op. Single-writer by the scratch-ownership
+	// rule; registry readers snapshot it through obs.
+	trace *obs.TraceRing
+}
+
+// ObsRing returns the scratch's decision-trace ring, creating and
+// registering it on first use. The ring is deliberately shared with
+// obs registry readers (stats trace dimension, moldsched -trace); the
+// accessor exists so owning layers — the online runtime — can retag
+// the ring's source before feeding it.
+//
+//sched:owns-result
+func (sc *Scratch) ObsRing() *obs.TraceRing {
+	if sc.trace == nil {
+		sc.trace = obs.NewTraceRing("sched")
+	}
+	return sc.trace
+}
+
+// obsRecord leaves one decision's telemetry: the call/error/algorithm
+// counters, the end-to-end latency histogram, and a sampled ring event
+// carrying the wire trace_id if the context bears one (obs.WithTraceID).
+// All of it is atomics plus a TryLock ring write — allocation-free
+// after the ring exists.
+//
+//sched:hotpath
+func (sc *Scratch) obsRecord(ctx context.Context, in *moldable.Instance, rep *Report, dr dual.Report, elapsed time.Duration, err error) {
+	if !obs.On() {
+		return
+	}
+	obs.SchedCalls.Inc()
+	if a := int(rep.Algorithm); a >= 0 && a < obs.SchedAlgo.Len() {
+		obs.SchedAlgo.At(a).Inc()
+	}
+	obs.SchedLatency.Observe(int64(elapsed))
+	code := ""
+	if err != nil {
+		obs.SchedErrors.Inc()
+		code = scherr.Code(err)
+	}
+	if sc.trace == nil {
+		sc.trace = obs.NewTraceRing("sched") // warm-up only; steady state reuses it
+	}
+	sc.trace.Record(obs.TraceEvent{
+		TID:      obs.CtxTraceID(ctx),
+		At:       time.Now().UnixNano(),
+		Algo:     rep.Algorithm.String(),
+		N:        in.N(),
+		M:        in.M,
+		Eps:      rep.Eps,
+		Probes:   dr.Iterations,
+		Elapsed:  int64(elapsed),
+		Makespan: float64(rep.Makespan),
+		Omega:    float64(dr.Omega),
+		Code:     code,
+	})
 }
 
 // NewScratch returns an empty Scratch (provided for symmetry; the zero
@@ -178,9 +239,17 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 		opt.Eps = 0.1
 	}
 	if opt.Eps < 0 || opt.Eps > 1 {
+		if obs.On() {
+			obs.SchedCalls.Inc()
+			obs.SchedErrors.Inc()
+		}
 		return nil, Report{}, scherr.BadEps("core", opt.Eps)
 	}
 	if err := ctx.Err(); err != nil {
+		if obs.On() {
+			obs.SchedCalls.Inc()
+			obs.SchedErrors.Inc()
+		}
 		return nil, Report{}, scherr.Canceled(err)
 	}
 	if sc == nil {
@@ -225,9 +294,14 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 		s, dr, err = fptas.ScheduleScratchCtx(ctx, in, opt.Eps, &sc.FP)
 		rep.Guarantee = 1 + opt.Eps
 	default:
+		if obs.On() {
+			obs.SchedCalls.Inc()
+			obs.SchedErrors.Inc()
+		}
 		return nil, Report{}, fmt.Errorf("core: unknown algorithm %v", algo) //schedlint:ignore hotalloc error path: boxing the bad algorithm tag is fine, the call never schedules
 	}
 	if err != nil {
+		sc.obsRecord(ctx, in, &rep, dr, time.Since(start), err)
 		return nil, Report{}, err
 	}
 	rep.Elapsed = time.Since(start)
@@ -243,9 +317,12 @@ func ScheduleScratchCtx(ctx context.Context, in *moldable.Instance, opt Options,
 	}
 	if opt.Validate {
 		if verr := schedule.Validate(in, s, schedule.Options{}); verr != nil {
-			return nil, rep, fmt.Errorf("core: produced invalid schedule: %w", verr)
+			err = fmt.Errorf("core: produced invalid schedule: %w", verr)
+			sc.obsRecord(ctx, in, &rep, dr, rep.Elapsed, err)
+			return nil, rep, err
 		}
 	}
+	sc.obsRecord(ctx, in, &rep, dr, rep.Elapsed, nil)
 	return s, rep, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -19,7 +20,15 @@ import (
 // grid, the profile staircases, the merge tree, and the backtracking.
 func TestScheduleScratchZeroAlloc(t *testing.T) {
 	in := moldable.Random(moldable.GenConfig{N: 256, M: 4096, Seed: 42})
-	ctx := context.Background()
+	// The guard deliberately runs with observability recording enabled
+	// AND a trace_id-tagged context: the instrumented hot path —
+	// counters, latency histograms, probe timing, and the decision-ring
+	// write including the ctx trace_id lookup — must itself stay at
+	// zero allocations (ISSUE 9; DESIGN.md §10).
+	if !obs.On() {
+		t.Fatal("obs recording must be enabled for this guard to cover the instrumented path")
+	}
+	ctx := obs.WithTraceID(context.Background(), "zeroalloc-guard")
 	cases := []struct {
 		name string
 		opt  Options

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
 )
@@ -96,7 +98,7 @@ func SearchRangeCtx(ctx context.Context, algo Algorithm, lo, hi moldable.Time, e
 	if err := ctx.Err(); err != nil {
 		return nil, rep, scherr.Canceled(err)
 	}
-	sched, ok := algo.Try(hi)
+	sched, ok := probe(algo, hi)
 	rep.Iterations++
 	if !ok {
 		return nil, rep, ErrNoSchedule
@@ -110,7 +112,7 @@ func SearchRangeCtx(ctx context.Context, algo Algorithm, lo, hi moldable.Time, e
 			return nil, rep, scherr.Canceled(err)
 		}
 		mid := lo + (hi-lo)/2
-		s, ok := algo.Try(mid)
+		s, ok := probe(algo, mid)
 		rep.Iterations++
 		if ok {
 			hi, sched = mid, s
@@ -127,6 +129,22 @@ func SearchRangeCtx(ctx context.Context, algo Algorithm, lo, hi moldable.Time, e
 			rep.Makespan, c*hi)
 	}
 	return sched, rep, nil
+}
+
+// probe runs one oracle call, timing it for the obs layer
+// (sched_probes_total, sched_probe_latency_ns). Every probe of every
+// search funnels through here; with recording disabled the wrapper
+// costs one atomic load, and enabled it is two atomic counters plus a
+// monotonic clock read — no allocation either way.
+func probe(algo Algorithm, d moldable.Time) (*schedule.Schedule, bool) {
+	if !obs.On() {
+		return algo.Try(d)
+	}
+	t0 := time.Now()
+	s, ok := algo.Try(d)
+	obs.SchedProbes.Inc()
+	obs.SchedProbeLatency.Observe(int64(time.Since(t0)))
+	return s, ok
 }
 
 // Iterations returns the number of probes Search will use for the given

@@ -37,6 +37,10 @@ type cstep struct {
 var conformanceScript = []cstep{
 	// Tenant binding acks and echoes.
 	{line: `{"op":"hello","tag":"h1","tenant":"acme"}`},
+	// A client-supplied trace id echoes verbatim on every transport
+	// (playScript asserts the echo; see also the trace_id rows of
+	// docs/PROTOCOL.md).
+	{line: `{"op":"hello","tag":"h2","tenant":"acme","trace_id":"client-tid-1"}`},
 	// Batch happy path: submit, blocking result (with starts), cache hit.
 	{line: `{"op":"submit","tag":"a1","algo":"auto","eps":0.25,"schedule":true,"instance":{"m":64,"jobs":[{"type":"amdahl","seq":2,"par":98},{"type":"power","w":50,"alpha":0.8}]}}`, saveID: "t1"},
 	{line: `{"op":"result","id":${t1},"wait":true}`},
@@ -47,7 +51,7 @@ var conformanceScript = []cstep{
 	{line: `{"op":"result","id":${t3},"wait":true}`},
 	// result on a consumed ticket, then on a never-issued one.
 	{line: `{"op":"result","id":${t3},"wait":true}`},
-	{line: `{"op":"result","id":999999,"wait":false}`},
+	{line: `{"op":"result","id":999999,"wait":false,"trace_id":"client-tid-2"}`},
 	// Error shapes: unparsable line, unknown op, bad algo, bad instance
 	// JSON, structurally invalid instance, bad eps, non-monotone job,
 	// and a deadline that expires before validation (canceled).
@@ -118,6 +122,16 @@ func playScript(t *testing.T, c *lockConn) []Response {
 			t.Fatalf("unresolved ticket reference in %q", line)
 		}
 		r := c.roundTrip(line)
+		// The trace_id echo guarantee (ISSUE 9): every frame — error
+		// frames for unparsable lines included — carries a trace id, and
+		// a client-supplied one echoes verbatim.
+		if r.TraceID == "" {
+			t.Errorf("request %q: response carries no trace_id: %+v", line, r)
+		}
+		var req Request
+		if json.Unmarshal([]byte(line), &req) == nil && req.TraceID != "" && r.TraceID != req.TraceID {
+			t.Errorf("request %q: trace_id %q not echoed (got %q)", line, req.TraceID, r.TraceID)
+		}
 		if st.saveID != "" {
 			ids[st.saveID] = r.ID
 		}
@@ -127,10 +141,12 @@ func playScript(t *testing.T, c *lockConn) []Response {
 }
 
 // normalize canonicalizes the transport-dependent parts of a response
-// stream: ticket ids are remapped to first-seen ordinals and elapsed
-// times zeroed. Everything else — op echo, tags, codes, error texts,
-// allotments, start times, events, metrics, aggregated stats — must
-// already be identical.
+// stream: ticket ids and server-assigned trace ids ("t-<n>", drawn
+// from a process-global counter) are remapped to first-seen ordinals,
+// and elapsed times zeroed. Client-supplied trace ids pass through —
+// the echo must be verbatim. Everything else — op echo, tags, codes,
+// error texts, allotments, start times, events, metrics, aggregated
+// stats — must already be identical.
 func normalize(rs []Response) []Response {
 	idmap := map[uint64]uint64{}
 	remap := func(id uint64) uint64 {
@@ -144,9 +160,22 @@ func normalize(rs []Response) []Response {
 		idmap[id] = v
 		return v
 	}
+	tidmap := map[string]string{}
+	remapTID := func(tid string) string {
+		if !strings.HasPrefix(tid, "t-") {
+			return tid
+		}
+		if v, ok := tidmap[tid]; ok {
+			return v
+		}
+		v := fmt.Sprintf("t-%d", len(tidmap)+1)
+		tidmap[tid] = v
+		return v
+	}
 	out := make([]Response, len(rs))
 	for i, r := range rs {
 		r.ID = remap(r.ID)
+		r.TraceID = remapTID(r.TraceID)
 		r.ElapsedMS = 0
 		out[i] = r
 	}

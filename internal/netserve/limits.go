@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Limits configures admission control and per-tenant quotas. The zero
@@ -68,17 +70,49 @@ func NewLimiter(l Limits) *Limiter {
 	return lim
 }
 
-// acquire claims one admission slot. wait=true lets the caller queue
-// for a slot until ctx ends (the deadline-based shedding path: ctx
-// carries the request's timeout_ms deadline); wait=false sheds
-// immediately when the budget is exhausted. The returned error, when
-// non-nil, matches ErrOverloaded.
-func (l *Limiter) acquire(ctx context.Context, wait bool) error {
+// tenantLabel maps the anonymous tenant ("") onto a printable gauge
+// label; declared tenants pass through.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "anonymous"
+	}
+	return tenant
+}
+
+// admitted / released feed the in-flight gauges (total and per-tenant)
+// on both the limited and the unlimited (nil Limiter) paths, so the
+// gauges mean "costed requests in flight", not "slots held".
+func admitted(tenant string) {
+	if !obs.On() {
+		return
+	}
+	obs.WireInflight.Inc()
+	obs.WireTenantInflight.With(tenantLabel(tenant)).Inc()
+}
+
+func released(tenant string) {
+	if !obs.On() {
+		return
+	}
+	obs.WireInflight.Dec()
+	obs.WireTenantInflight.With(tenantLabel(tenant)).Dec()
+}
+
+// acquire claims one admission slot for tenant. wait=true lets the
+// caller queue for a slot until ctx ends (the deadline-based shedding
+// path: ctx carries the request's timeout_ms deadline); wait=false
+// sheds immediately when the budget is exhausted. The returned error,
+// when non-nil, matches ErrOverloaded. Every successful acquire must
+// be paired with a release(tenant) — the pair also maintains the
+// in-flight gauges.
+func (l *Limiter) acquire(ctx context.Context, tenant string, wait bool) error {
 	if l == nil || l.slots == nil {
+		admitted(tenant)
 		return nil
 	}
 	select {
 	case l.slots <- struct{}{}:
+		admitted(tenant)
 		return nil
 	default:
 	}
@@ -87,6 +121,7 @@ func (l *Limiter) acquire(ctx context.Context, wait bool) error {
 	}
 	select {
 	case l.slots <- struct{}{}:
+		admitted(tenant)
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("%w: no capacity within deadline (%v)", ErrOverloaded, ctx.Err())
@@ -94,7 +129,8 @@ func (l *Limiter) acquire(ctx context.Context, wait bool) error {
 }
 
 // release returns an acquired slot.
-func (l *Limiter) release() {
+func (l *Limiter) release(tenant string) {
+	released(tenant)
 	if l == nil || l.slots == nil {
 		return
 	}

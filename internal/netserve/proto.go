@@ -2,6 +2,7 @@ package netserve
 
 import (
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/service"
 
@@ -38,6 +39,15 @@ type Request struct {
 	EpochGrow float64         `json:"epoch_grow,omitempty"`
 	T         float64         `json:"t,omitempty"`
 	Job       json.RawMessage `json:"job,omitempty"`
+
+	// TraceID correlates this request with the decision traces it
+	// produces (docs/OBSERVABILITY.md). Empty means "server, assign
+	// one"; either way the response echoes the id.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Trace asks the "stats" op to include the sampled decision traces
+	// alongside the counters.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Response is the union of all response shapes. Error responses carry
@@ -68,6 +78,14 @@ type Response struct {
 	// stats payload
 	Stats *service.Stats `json:"stats,omitempty"`
 
+	// TraceID echoes the request's trace id (client-supplied or
+	// server-assigned); every response carries one.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Traces carries the sampled decision traces when a "stats" request
+	// set Trace.
+	Traces []WireTrace `json:"traces,omitempty"`
+
 	// online-session payloads
 	Events    []WireEvent `json:"events,omitempty"`
 	MeanWait  float64     `json:"mean_wait,omitempty"`
@@ -77,6 +95,37 @@ type Response struct {
 	Replans   int         `json:"replans,omitempty"`
 	Fallbacks int         `json:"fallbacks,omitempty"`
 	Finished  int         `json:"finished,omitempty"`
+}
+
+// WireTrace is the JSON shape of one sampled scheduling decision
+// (obs.TraceEvent): which request triggered it, which algorithm
+// resolved, how many oracle probes it cost, and what came out.
+type WireTrace struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	At        int64   `json:"at"` // unix nanoseconds
+	Source    string  `json:"source"`
+	Algo      string  `json:"algo,omitempty"`
+	N         int     `json:"n,omitempty"`
+	M         int     `json:"m,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	Probes    int     `json:"probes,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	Omega     float64 `json:"omega,omitempty"`
+	Code      string  `json:"code,omitempty"`
+}
+
+func wireTraces(evs []obs.TraceEvent) []WireTrace {
+	out := make([]WireTrace, len(evs))
+	for i, e := range evs {
+		out[i] = WireTrace{
+			TraceID: e.TID, At: e.At, Source: e.Source, Algo: e.Algo,
+			N: e.N, M: e.M, Eps: e.Eps, Probes: e.Probes,
+			ElapsedMS: float64(e.Elapsed) / 1e6,
+			Makespan:  e.Makespan, Omega: e.Omega, Code: e.Code,
+		}
+	}
+	return out
 }
 
 // WireEvent is the JSON shape of one online.Event. Job is -1 on events

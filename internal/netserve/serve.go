@@ -8,14 +8,35 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/scherr"
 	"repro/internal/service"
 )
+
+// traceSeq numbers server-assigned trace ids ("t-<n>") across every
+// connection of the process, so ids stay unique under concurrency.
+var traceSeq atomic.Uint64
+
+func nextTraceID() string {
+	return fmt.Sprintf("t-%d", traceSeq.Add(1))
+}
+
+// opIndex maps a wire op to its obs.OpLabels slot; unknown ops fall to
+// the trailing "other" child.
+func opIndex(op string) int {
+	for i, l := range obs.OpLabels {
+		if l == op {
+			return i
+		}
+	}
+	return len(obs.OpLabels) - 1
+}
 
 // ServeConfig parameterizes one protocol session.
 type ServeConfig struct {
@@ -64,7 +85,9 @@ func ServeLines(ctx context.Context, b Backend, in io.Reader, w io.Writer, cfg S
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			out.send(Response{Op: "error", Code: codeBadRequest, Error: fmt.Sprintf("bad request: %v", err)})
+			// A line too broken to parse still gets a trace id: the error
+			// frame is correlatable like any other response.
+			out.send(Response{Op: "error", Code: codeBadRequest, TraceID: nextTraceID(), Error: fmt.Sprintf("bad request: %v", err)})
 			continue
 		}
 		if !sess.handle(ctx, req) {
@@ -88,8 +111,14 @@ type writer struct {
 
 // send encodes one response. Write errors are latched, not fatal: a
 // TCP peer that disappeared mid-response must not crash the server,
-// and every later send on the session becomes a no-op.
+// and every later send on the session becomes a no-op. Every error
+// response funnels through here, so this is also where the per-code
+// error counters are fed (shed, quota, and unavailable counts fall out
+// of the code dimension).
 func (w *writer) send(r Response) {
+	if r.Code != "" && obs.On() {
+		obs.WireErrors.WithLabel(r.Code).Inc()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -120,34 +149,62 @@ type session struct {
 	wantSched sync.Map // ticket id → bool
 }
 
+// send stamps the request's trace id onto the response and emits it.
+// Handlers route every reply through here so the echo guarantee (each
+// frame carries a trace_id) holds on all paths.
+func (s *session) send(tid string, r Response) {
+	r.TraceID = tid
+	s.out.send(r)
+}
+
+// observe records one completed wire op in the per-op counters and
+// latency histograms. Sync ops record on the read loop; the async
+// submit and result-wait handlers record when their goroutine replies,
+// so the histogram measures completion, not dispatch.
+func (s *session) observe(op int, t0 time.Time) {
+	if !obs.On() {
+		return
+	}
+	obs.WireOps.At(op).Inc()
+	obs.WireOpLatency.At(op).Observe(int64(time.Since(t0)))
+}
+
 // handle dispatches one request; false means shutdown.
 func (s *session) handle(ctx context.Context, req Request) bool {
+	if req.TraceID == "" {
+		req.TraceID = nextTraceID()
+	}
+	t0 := time.Now()
+	op := opIndex(req.Op)
+	async := false
 	switch req.Op {
 	case "hello":
 		// Bind (or re-bind) the connection's tenant. Cheap and
 		// un-quota'd: it is how a tenant identifies itself.
 		s.tenant = req.Tenant
-		s.out.send(Response{Op: "hello", Tag: req.Tag, Tenant: s.tenant})
+		s.send(req.TraceID, Response{Op: "hello", Tag: req.Tag, Tenant: s.tenant})
 	case "submit":
 		if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
-			s.out.send(Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
-			return true
+			s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+			break
 		}
 		// Validation (O(probes) per job) must not stall request
 		// intake; handle off the read loop like result-wait. Clients
 		// correlate the reply by tag. Each submit extends the barrier
 		// chain: its link closes once its own handler AND every earlier
 		// submit's are done.
+		async = true
 		prev := s.barrier
 		next := make(chan struct{})
 		s.barrier = next
 		s.pending.Add(1)
-		go func(req Request) {
+		go func(req Request, tenant string) {
 			defer s.pending.Done()
-			s.handleSubmit(ctx, req)
+			s.handleSubmit(ctx, req, tenant)
+			s.observe(op, t0)
 			<-prev
 			close(next)
-		}(req)
+		}(req, s.tenant)
 	case "result":
 		if req.Wait {
 			// Waiting must not block the read loop: answer from a
@@ -155,17 +212,19 @@ func (s *session) handle(ctx context.Context, req Request) bool {
 			// read before this request land first (the barrier
 			// snapshot), so a sequential script (submit, then result
 			// for its ticket) never races the async submit handler.
+			async = true
 			barrier := s.barrier
 			s.pending.Add(1)
-			go func(id uint64) {
+			go func(id uint64, tid string) {
 				defer s.pending.Done()
 				<-barrier
 				res, ok := s.b.Wait(id)
-				s.sendResult(id, res, ok, true)
-			}(req.ID)
+				s.sendResult(tid, id, res, ok, true)
+				s.observe(op, t0)
+			}(req.ID, req.TraceID)
 		} else {
 			res, done, known := s.b.Poll(req.ID)
-			s.sendResult(req.ID, res, known, done)
+			s.sendResult(req.TraceID, req.ID, res, known, done)
 		}
 	case "open_online":
 		s.handleOpenOnline(req)
@@ -174,21 +233,29 @@ func (s *session) handle(ctx context.Context, req Request) bool {
 	case "trace":
 		evs, err := s.b.OnlineTrace(req.ID)
 		if err != nil {
-			s.out.send(Response{Op: "trace", ID: req.ID, Code: wireCode(err), Error: err.Error()})
-			return true
+			s.send(req.TraceID, Response{Op: "trace", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+			break
 		}
-		s.out.send(Response{Op: "trace", ID: req.ID, Events: wireEvents(evs)})
+		s.send(req.TraceID, Response{Op: "trace", ID: req.ID, Events: wireEvents(evs)})
 	case "drain":
 		s.handleDrain(ctx, req)
 	case "stats":
 		st := s.b.Stats()
-		s.out.send(Response{Op: "stats", Tag: req.Tag, Stats: &st})
+		resp := Response{Op: "stats", Tag: req.Tag, Stats: &st}
+		if req.Trace {
+			resp.Traces = wireTraces(obs.SnapshotTraces(64))
+		}
+		s.send(req.TraceID, resp)
 	case "shutdown":
 		s.pending.Wait()
-		s.out.send(Response{Op: "shutdown", Tag: req.Tag})
+		s.send(req.TraceID, Response{Op: "shutdown", Tag: req.Tag})
+		s.observe(op, t0)
 		return false
 	default:
-		s.out.send(Response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
+		s.send(req.TraceID, Response{Op: "error", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+	if !async {
+		s.observe(op, t0)
 	}
 	return true
 }
@@ -204,17 +271,24 @@ func (s *session) releaseSessions() {
 	}
 }
 
-func (s *session) handleSubmit(ctx context.Context, req Request) {
+// handleSubmit runs off the read loop; tenant is captured at dispatch
+// because s.tenant is read-loop-only state (a concurrent "hello" could
+// otherwise race the re-bind).
+func (s *session) handleSubmit(ctx context.Context, req Request, tenant string) {
 	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
 	if err != nil {
-		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
 		return
 	}
 	in, err := moldable.UnmarshalInstance(req.Instance)
 	if err != nil {
-		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("bad instance: %v", err)})
+		s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, Code: codeBadRequest, Error: fmt.Sprintf("bad instance: %v", err)})
 		return
 	}
+	// Tag the request context so the scheduler's decision-trace ring
+	// records which wire request each decision served
+	// (docs/OBSERVABILITY.md).
+	ctx = obs.WithTraceID(ctx, req.TraceID)
 	// Per-submission deadline: created before validation so timeout_ms
 	// bounds the monotonicity probing as well as the scheduling; the
 	// context then travels with the ticket, so an expired deadline
@@ -237,18 +311,18 @@ func (s *session) handleSubmit(ctx context.Context, req Request) {
 	// (validation included). A submission with a deadline queues for
 	// capacity until the deadline arrives — deadline-based shedding —
 	// while one without is shed immediately; both report "overloaded".
-	if err := s.cfg.Limiter.acquire(ctx, req.TimeoutMS > 0); err != nil {
+	if err := s.cfg.Limiter.acquire(ctx, tenant, req.TimeoutMS > 0); err != nil {
 		if cancel != nil {
 			cancel()
 		}
-		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
 		return
 	}
 	if err := in.ValidateCtx(ctx, s.cfg.Probes); err != nil {
 		if cancel != nil {
 			cancel()
 		}
-		s.cfg.Limiter.release()
+		s.cfg.Limiter.release(tenant)
 		// Every validation failure is a client-input problem: keep the
 		// typed codes (not_monotone, canceled, …) but never report
 		// "internal" for structural errors like m < 1 — that reads as a
@@ -257,7 +331,7 @@ func (s *session) handleSubmit(ctx context.Context, req Request) {
 		if code == scherr.CodeInternal {
 			code = codeBadRequest
 		}
-		s.out.send(Response{Op: "submit", Tag: req.Tag, Code: code, Error: fmt.Sprintf("invalid instance: %v", err)})
+		s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, Code: code, Error: fmt.Sprintf("invalid instance: %v", err)})
 		return
 	}
 	id := s.b.SubmitCtx(ctx, in, core.Options{Algorithm: algo, Eps: req.Eps, Validate: req.Validate})
@@ -272,35 +346,35 @@ func (s *session) handleSubmit(ctx context.Context, req Request) {
 		go func() {
 			defer s.pending.Done()
 			<-done
-			s.cfg.Limiter.release()
+			s.cfg.Limiter.release(tenant)
 			if cancel != nil {
 				cancel()
 			}
 		}()
 	} else {
-		s.cfg.Limiter.release()
+		s.cfg.Limiter.release(tenant)
 		if cancel != nil {
 			cancel()
 		}
 	}
-	s.out.send(Response{Op: "submit", Tag: req.Tag, ID: id})
+	s.send(req.TraceID, Response{Op: "submit", Tag: req.Tag, ID: id})
 }
 
 // handleOpenOnline creates an online session. Runs on the read loop:
 // session ops are order-dependent (see docs/PROTOCOL.md).
 func (s *session) handleOpenOnline(req Request) {
 	if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
-		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "open_online", Tag: req.Tag, Code: wireCode(err), Error: err.Error()})
 		return
 	}
 	algo, err := core.ParseAlgorithm(orDefault(req.Algo, "auto"))
 	if err != nil {
-		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
 		return
 	}
 	policy, err := online.ParsePolicy(orDefault(req.Policy, "epoch"))
 	if err != nil {
-		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "open_online", Tag: req.Tag, Code: codeBadRequest, Error: err.Error()})
 		return
 	}
 	id, err := s.b.OpenOnline(online.Config{
@@ -312,26 +386,26 @@ func (s *session) handleOpenOnline(req Request) {
 		if code == scherr.CodeInternal {
 			code = codeBadRequest // config problems are client input, not server faults
 		}
-		s.out.send(Response{Op: "open_online", Tag: req.Tag, Code: code, Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "open_online", Tag: req.Tag, Code: code, Error: err.Error()})
 		return
 	}
 	s.opened[id] = true
-	s.out.send(Response{Op: "open_online", Tag: req.Tag, ID: id})
+	s.send(req.TraceID, Response{Op: "open_online", Tag: req.Tag, ID: id})
 }
 
 // handleArrive admits one arrival into a session.
 func (s *session) handleArrive(ctx context.Context, req Request) {
 	if err := s.cfg.Limiter.takeToken(s.tenant); err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
 		return
 	}
 	if len(req.Job) == 0 {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: "arrive needs a job"})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: "arrive needs a job"})
 		return
 	}
 	job, err := moldable.UnmarshalJob(req.Job)
 	if err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: fmt.Sprintf("bad job: %v", err)})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: codeBadRequest, Error: fmt.Sprintf("bad job: %v", err)})
 		return
 	}
 	// Same admission checks as submit: a non-monotone job must be
@@ -339,40 +413,40 @@ func (s *session) handleArrive(ctx context.Context, req Request) {
 	// Probe over the session's machine size.
 	m, err := s.b.OnlineMachine(req.ID)
 	if err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
 		return
 	}
 	if err := moldable.CheckMonotone(job, m, s.cfg.Probes); err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: scherr.Code(err), Error: fmt.Sprintf("invalid job: %v", err)})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: scherr.Code(err), Error: fmt.Sprintf("invalid job: %v", err)})
 		return
 	}
-	if err := s.cfg.Limiter.acquire(ctx, false); err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+	if err := s.cfg.Limiter.acquire(ctx, s.tenant, false); err != nil {
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: wireCode(err), Error: err.Error()})
 		return
 	}
-	evs, err := s.b.OnlineArrive(ctx, req.ID, online.Arrival{T: moldable.Time(req.T), Job: job})
-	s.cfg.Limiter.release()
+	evs, err := s.b.OnlineArrive(obs.WithTraceID(ctx, req.TraceID), req.ID, online.Arrival{T: moldable.Time(req.T), Job: job})
+	s.cfg.Limiter.release(s.tenant)
 	if err != nil {
-		s.out.send(Response{Op: "arrive", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
 		return
 	}
-	s.out.send(Response{Op: "arrive", ID: req.ID, Events: wireEvents(evs)})
+	s.send(req.TraceID, Response{Op: "arrive", ID: req.ID, Events: wireEvents(evs)})
 }
 
 // handleDrain runs a session to completion and reports its metrics.
 func (s *session) handleDrain(ctx context.Context, req Request) {
-	if err := s.cfg.Limiter.acquire(ctx, false); err != nil {
-		s.out.send(Response{Op: "drain", ID: req.ID, Code: wireCode(err), Error: err.Error()})
+	if err := s.cfg.Limiter.acquire(ctx, s.tenant, false); err != nil {
+		s.send(req.TraceID, Response{Op: "drain", ID: req.ID, Code: wireCode(err), Error: err.Error()})
 		return
 	}
-	evs, met, err := s.b.OnlineDrain(ctx, req.ID)
-	s.cfg.Limiter.release()
+	evs, met, err := s.b.OnlineDrain(obs.WithTraceID(ctx, req.TraceID), req.ID)
+	s.cfg.Limiter.release(s.tenant)
 	if err != nil {
-		s.out.send(Response{Op: "drain", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
+		s.send(req.TraceID, Response{Op: "drain", ID: req.ID, Code: onlineCode(err), Error: err.Error(), Events: wireEvents(evs)})
 		return
 	}
 	delete(s.opened, req.ID) // drained: nothing left to release on disconnect
-	s.out.send(Response{
+	s.send(req.TraceID, Response{
 		Op: "drain", ID: req.ID, Events: wireEvents(evs),
 		Makespan: met.Makespan, MeanWait: float64(met.MeanWait), MeanFlow: float64(met.MeanFlow),
 		MaxFlow: float64(met.MaxFlow), Util: met.Utilization,
@@ -391,21 +465,21 @@ func onlineCode(err error) string {
 	return codeBadRequest
 }
 
-func (s *session) sendResult(id uint64, res service.Result, known, done bool) {
+func (s *session) sendResult(tid string, id uint64, res service.Result, known, done bool) {
 	if !known {
-		s.out.send(Response{Op: "result", ID: id, Code: codeUnknownTicket, Error: "unknown or already-collected ticket"})
+		s.send(tid, Response{Op: "result", ID: id, Code: codeUnknownTicket, Error: "unknown or already-collected ticket"})
 		return
 	}
 	resp := Response{Op: "result", ID: id, Done: &done}
 	if !done {
-		s.out.send(resp)
+		s.send(tid, resp)
 		return
 	}
 	_, wantSched := s.wantSched.LoadAndDelete(id)
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
 		resp.Code = wireCode(res.Err)
-		s.out.send(resp)
+		s.send(tid, resp)
 		return
 	}
 	resp.Cached = res.Cached
@@ -423,7 +497,7 @@ func (s *session) sendResult(id uint64, res service.Result, known, done bool) {
 			resp.Starts[p.Job] = p.Start
 		}
 	}
-	s.out.send(resp)
+	s.send(tid, resp)
 }
 
 // closedBarrier is the chain's seed: with no submits read yet, a

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -136,14 +138,28 @@ func (s *Server) addListener(ln net.Listener) bool {
 }
 
 // track registers or unregisters a live connection so Close can
-// unblock their read loops.
+// unblock their read loops; the live count feeds the wire_conns gauge.
 func (s *Server) track(c net.Conn, add bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if add {
 		s.conns[c] = struct{}{}
+		obs.WireConns.Inc()
 	} else {
 		delete(s.conns, c)
+		obs.WireConns.Dec()
+	}
+}
+
+// RefreshObsGauges republishes the scrape-time gauges — the aggregate
+// service counters and per-shard pending depths — onto the obs
+// registry. The /metrics handler calls it per scrape; gauges derived
+// from Stats snapshots are refreshed here rather than maintained on
+// the hot path.
+func (s *Server) RefreshObsGauges() {
+	service.PublishStats(s.router.Stats())
+	for i := 0; i < s.router.Shards(); i++ {
+		obs.ServiceShardPending.With(strconv.Itoa(i)).Set(s.router.ShardStats(i).Pending)
 	}
 }
 
@@ -153,12 +169,20 @@ func (s *Server) track(c net.Conn, add bool) {
 //	               dead shard ids otherwise
 //	GET /stats   — JSON {"stats": aggregate, "shards": per-shard,
 //	               "alive": []bool}
+//	GET /metrics — the obs registry in Prometheus text exposition
+//	               format (docs/OBSERVABILITY.md); scrape-time gauges
+//	               are refreshed from the router first
 //	POST /rpc    — the wire protocol over HTTP: the request body is
 //	               JSON-lines requests, the response body the
 //	               JSON-lines responses (one protocol session per
 //	               HTTP request)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.RefreshObsGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		var dead []int
 		for i := 0; i < s.router.Shards(); i++ {

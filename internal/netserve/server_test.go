@@ -24,14 +24,14 @@ import (
 func TestLimiterAdmission(t *testing.T) {
 	l := NewLimiter(Limits{MaxInflight: 2})
 	ctx := context.Background()
-	if err := l.acquire(ctx, false); err != nil {
+	if err := l.acquire(ctx, "acme", false); err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
-	if err := l.acquire(ctx, false); err != nil {
+	if err := l.acquire(ctx, "acme", false); err != nil {
 		t.Fatalf("second acquire: %v", err)
 	}
 	// Budget exhausted: a no-deadline request sheds immediately, typed.
-	if err := l.acquire(ctx, false); !errors.Is(err, ErrOverloaded) {
+	if err := l.acquire(ctx, "acme", false); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("third acquire: %v, want ErrOverloaded", err)
 	}
 	// Deadline-based shedding: a waiting request sheds when its
@@ -39,23 +39,23 @@ func TestLimiterAdmission(t *testing.T) {
 	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	if err := l.acquire(short, true); !errors.Is(err, ErrOverloaded) {
+	if err := l.acquire(short, "acme", true); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("waiting acquire: %v, want ErrOverloaded", err)
 	}
 	if time.Since(start) < 15*time.Millisecond {
 		t.Fatal("waiting acquire shed before its deadline")
 	}
 	// A released slot readmits.
-	l.release()
-	if err := l.acquire(ctx, false); err != nil {
+	l.release("acme")
+	if err := l.acquire(ctx, "acme", false); err != nil {
 		t.Fatalf("acquire after release: %v", err)
 	}
 	// The nil limiter admits everything.
 	var nilL *Limiter
-	if err := nilL.acquire(ctx, false); err != nil {
+	if err := nilL.acquire(ctx, "acme", false); err != nil {
 		t.Fatalf("nil limiter: %v", err)
 	}
-	nilL.release()
+	nilL.release("acme")
 	if err := nilL.takeToken("acme"); err != nil {
 		t.Fatalf("nil limiter token: %v", err)
 	}
@@ -261,6 +261,25 @@ func TestServerHTTPEndpoints(t *testing.T) {
 	}
 	if len(stats.Shards) != 2 || len(stats.Alive) != 2 || stats.Stats.Submitted != 1 {
 		t.Fatalf("stats payload: %+v", stats)
+	}
+
+	// GET /metrics serves the obs registry in Prometheus text format
+	// with the scrape-time gauges refreshed from the router (ISSUE 9).
+	rec = get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type: %q", ct)
+	}
+	body := rec.Body.String()
+	if n := strings.Count(body, "# TYPE "); n < 15 {
+		t.Fatalf("metrics exposes %d families, want ≥ 15:\n%s", n, body)
+	}
+	for _, want := range []string{"sched_calls_total", "wire_ops_total{op=", "service_pending 0"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body lacks %q", want)
+		}
 	}
 
 	// A killed shard degrades health with its id in the body.

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in debug surface that moldschedd mounts
+// on -debug-addr (off by default; docs/OBSERVABILITY.md):
+//
+//	GET /metrics        Prometheus text exposition of the Default registry
+//	GET /debug/pprof/…  the standard net/http/pprof profiles
+//
+// refresh, when non-nil, runs before each scrape so snapshot-mirrored
+// gauges (service_pending and friends) are current; pass nil when
+// nothing needs refreshing. The handler is deliberately separate from
+// the serving mux: profiles and metrics should not share a port with
+// tenant traffic unless the operator opts in.
+func DebugHandler(refresh func()) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if refresh != nil {
+			refresh()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4): the scrape path behind
+// GET /metrics. This is the cold read side — it may allocate freely;
+// the hot write side never touches it.
+
+// WritePrometheus renders every registered metric in text exposition
+// format, sorted by name, to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b []byte
+	for _, m := range r.snapshotMetrics() {
+		b = append(b, "# HELP "...)
+		b = append(b, m.Name()...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, m.Help())
+		b = append(b, "\n# TYPE "...)
+		b = append(b, m.Name()...)
+		b = append(b, ' ')
+		b = append(b, m.promType()...)
+		b = append(b, '\n')
+		b = m.promWrite(b)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// WritePrometheus renders the Default registry; see
+// Registry.WritePrometheus.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
+
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendSample emits one `name{label="value"} v` line; empty label
+// emits the bare `name v` form.
+func appendSample(b []byte, name, label, value string, v int64) []byte {
+	b = append(b, name...)
+	if label != "" {
+		b = append(b, '{')
+		b = append(b, label...)
+		b = append(b, `="`...)
+		b = appendEscapedLabel(b, value)
+		b = append(b, `"}`...)
+	}
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+func (c *Counter) promType() string { return "counter" }
+
+func (c *Counter) promWrite(b []byte) []byte {
+	return appendSample(b, c.name, "", "", c.Value())
+}
+
+func (g *Gauge) promType() string { return "gauge" }
+
+func (g *Gauge) promWrite(b []byte) []byte {
+	return appendSample(b, g.name, "", "", g.Value())
+}
+
+func (h *Histogram) promType() string { return "histogram" }
+
+func (h *Histogram) promWrite(b []byte) []byte {
+	return appendHistogram(b, h.name, "", "", h)
+}
+
+// appendHistogram emits cumulative le-labeled buckets (upper bound of
+// bucket i is 2^i − 1; see numBuckets), trimmed after the last
+// non-empty bucket, then +Inf, _sum, and _count. extraLabel/extraVal
+// ("" for plain histograms) prefix the vec label pair.
+func appendHistogram(b []byte, name, extraLabel, extraVal string, h *Histogram) []byte {
+	last := 0
+	for i := 0; i < numBuckets; i++ {
+		if h.Bucket(i) != 0 {
+			last = i
+		}
+	}
+	cum := int64(0)
+	emit := func(le string, v int64) {
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		if extraLabel != "" {
+			b = append(b, extraLabel...)
+			b = append(b, `="`...)
+			b = appendEscapedLabel(b, extraVal)
+			b = append(b, `",`...)
+		}
+		b = append(b, `le="`...)
+		b = append(b, le...)
+		b = append(b, `"} `...)
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, '\n')
+	}
+	for i := 0; i <= last; i++ {
+		cum += h.Bucket(i)
+		// Upper bound of bucket i: 2^i − 1 (bucket 0 is exactly 0).
+		emit(strconv.FormatUint(1<<uint(i)-1, 10), cum)
+	}
+	emit("+Inf", h.Count())
+	suffix := func(sfx string, v int64) {
+		b = append(b, name...)
+		b = append(b, sfx...)
+		if extraLabel != "" {
+			b = append(b, '{')
+			b = append(b, extraLabel...)
+			b = append(b, `="`...)
+			b = appendEscapedLabel(b, extraVal)
+			b = append(b, `"}`...)
+		}
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, '\n')
+	}
+	suffix("_sum", h.Sum())
+	suffix("_count", h.Count())
+	return b
+}
+
+func (v *CounterVec) promType() string { return "counter" }
+
+func (v *CounterVec) promWrite(b []byte) []byte {
+	for i := range v.cs {
+		b = appendSample(b, v.name, v.label, v.vals[i], v.cs[i].Value())
+	}
+	return b
+}
+
+func (v *HistogramVec) promType() string { return "histogram" }
+
+func (v *HistogramVec) promWrite(b []byte) []byte {
+	for i := range v.hs {
+		b = appendHistogram(b, v.name, v.label, v.vals[i], &v.hs[i])
+	}
+	return b
+}
+
+func (v *GaugeVec) promType() string { return "gauge" }
+
+func (v *GaugeVec) promWrite(b []byte) []byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, val := range v.order {
+		b = appendSample(b, v.name, v.label, val, v.children[val].Value())
+	}
+	return b
+}

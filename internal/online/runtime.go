@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/listsched"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
 	"repro/internal/sim"
@@ -103,6 +105,10 @@ func New(cfg Config) (Runtime, error) {
 	// Bind the completion callback once: a per-AdvanceTo method value
 	// would allocate a closure on every event (DESIGN.md §6).
 	rt.onFinishFn = rt.onFinish
+	// Create and retag the pooled scratch's decision ring now, at
+	// construction: epoch decisions then snapshot as source "online"
+	// rather than "sched", and replans never pay the warm-up allocation.
+	rt.sc.ObsRing().SetSource("online")
 	rt.Reset()
 	return rt, nil
 }
@@ -244,6 +250,11 @@ func (rt *runtime) dispatch() {
 		rt.startT[p.job] = now
 		rt.started++
 		rt.waitSum += now - rt.arriveT[p.job]
+		if obs.On() {
+			// Arrival-to-dispatch lag, scaled to milli-sim-time so the
+			// power-of-two buckets resolve sub-unit waits.
+			obs.OnlineDispatchWait.ObserveFloat(float64((now - rt.arriveT[p.job]) * 1000))
+		}
 		rt.met.BusyArea += moldable.Time(p.procs) * p.dur
 		rt.emit(Event{T: now, Kind: EvStart, Job: p.job, Procs: p.procs, Free: rt.mach.Free()})
 	}
@@ -308,6 +319,7 @@ func (rt *runtime) replan(t moldable.Time) error {
 	if n == 0 {
 		return nil
 	}
+	replanStart := time.Now()
 	rt.pjobs = rt.pjobs[:0]
 	rt.pidx = rt.pidx[:0]
 	for _, j := range rt.pending {
@@ -361,6 +373,14 @@ func (rt *runtime) replan(t moldable.Time) error {
 	if fallback {
 		rt.met.Fallbacks++
 	}
+	if obs.On() {
+		obs.OnlineReplans.Inc()
+		obs.OnlineReplanLatency.Observe(int64(time.Since(replanStart)))
+		obs.OnlineBacklog.Observe(int64(n))
+		if fallback {
+			obs.OnlineFallbacks.Inc()
+		}
+	}
 	rt.emit(Event{T: t, Kind: EvReplan, Job: -1, Free: rt.mach.Free(),
 		Pending: n, Algo: algo, Fallback: fallback})
 	rt.epochOpen = t
@@ -399,6 +419,9 @@ func (rt *runtime) Arrive(ctx context.Context, a Arrival) ([]Event, error) {
 	rt.pending = append(rt.pending, j)
 	if rt.cfg.Policy == Greedy {
 		rt.rigid = append(rt.rigid, rigidAllot(a.Job, rt.cfg.M))
+	}
+	if obs.On() {
+		obs.OnlineArrivals.Inc()
 	}
 	rt.emit(Event{T: a.T, Kind: EvArrive, Job: j, Free: rt.mach.Free()})
 	switch rt.cfg.Policy {

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -181,6 +182,9 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, in *moldable.Instance, opt co
 	t := &task{done: make(chan struct{})}
 	s.tasks.Store(id, t)
 	s.submitted.Add(1)
+	if obs.On() {
+		obs.ServiceSubmitted.Inc()
+	}
 
 	key, canon := s.h.instanceKey(in)
 	rkey := uint64(0)
@@ -190,6 +194,9 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, in *moldable.Instance, opt co
 			if r, ok := s.results.get(rkey); ok {
 				r.Cached = true
 				s.resultHits.Add(1)
+				if obs.On() {
+					obs.ServiceResultHits.Inc()
+				}
 				s.finish(id, t, r)
 				return id
 			}
@@ -222,6 +229,9 @@ func (s *Scheduler) run(ctx context.Context, id uint64, t *task, in *moldable.In
 		if r, ok := s.results.get(rkey); ok {
 			r.Cached = true
 			s.resultHits.Add(1)
+			if obs.On() {
+				obs.ServiceResultHits.Inc()
+			}
 			s.finish(id, t, r)
 			return
 		}
@@ -269,9 +279,15 @@ func (s *Scheduler) run(ctx context.Context, id uint64, t *task, in *moldable.In
 func (s *Scheduler) finish(id uint64, t *task, r Result) {
 	if r.Err != nil {
 		s.failures.Add(1)
+		if obs.On() {
+			obs.ServiceErrors.Inc()
+		}
 	}
 	t.res = r
 	s.completed.Add(1)
+	if obs.On() {
+		obs.ServiceCompleted.Inc()
+	}
 	close(t.done)
 	// Bound completed-but-uncollected retention: push this ticket onto
 	// the retirement FIFO, evicting the oldest when full. Evicting a
@@ -408,22 +424,52 @@ func (s *Scheduler) DoBatchCtx(ctx context.Context, ins []*moldable.Instance, op
 	return out
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. The snapshot is mutually consistent
+// under concurrent traffic: it retries (bounded) until no submission
+// or completion lands inside the read window, and the individual loads
+// are ordered against the increment order of SubmitCtx/finish —
+// submitted is bumped before any completion and errors/result-hits
+// before their completion, so reading errors and result-hits first,
+// then completed, then submitted keeps every invariant
+// (0 ≤ Pending, Errors ≤ Completed ≤ Submitted,
+// ResultHits ≤ Completed) even when the retry budget runs out
+// mid-burst. Pinned by TestStatsConsistentUnderLoad.
 func (s *Scheduler) Stats() Stats {
-	hits, misses := s.memos.stats()
-	st := Stats{
-		Submitted:         s.submitted.Load(),
-		Completed:         s.completed.Load(),
-		Errors:            s.failures.Load(),
-		ResultHits:        s.resultHits.Load(),
-		OracleHits:        hits + s.looseHits.Load(),
-		OracleMisses:      misses + s.looseMisses.Load(),
-		MemoizedInstances: s.memos.len(),
-		CachedResults:     s.results.len(),
-		OnlineOpened:      s.onlineOpened.Load(),
-		OnlineArrivals:    s.onlineArrivals.Load(),
+	var st Stats
+	for attempt := 0; ; attempt++ {
+		subBefore, compBefore := s.submitted.Load(), s.completed.Load()
+		hits, misses := s.memos.stats()
+		st = Stats{
+			Errors:            s.failures.Load(),
+			ResultHits:        s.resultHits.Load(),
+			OracleHits:        hits + s.looseHits.Load(),
+			OracleMisses:      misses + s.looseMisses.Load(),
+			MemoizedInstances: s.memos.len(),
+			CachedResults:     s.results.len(),
+			OnlineOpened:      s.onlineOpened.Load(),
+			OnlineArrivals:    s.onlineArrivals.Load(),
+		}
+		st.Completed = s.completed.Load()
+		st.Submitted = s.submitted.Load()
+		if (st.Submitted == subBefore && st.Completed == compBefore) || attempt >= 3 {
+			break
+		}
 	}
 	s.onlines.Range(func(_, _ any) bool { st.OnlineSessions++; return true })
 	st.Pending = st.Submitted - st.Completed
 	return st
+}
+
+// PublishStats mirrors one Stats snapshot onto the obs registry's
+// gauges (the *_total counters stream inline from SubmitCtx/finish;
+// the gauges are point-in-time values, refreshed at scrape —
+// docs/OBSERVABILITY.md). Serving layers call this from their
+// GET /metrics handlers with whatever aggregate they route over.
+func PublishStats(st Stats) {
+	obs.ServicePending.Set(st.Pending)
+	obs.ServiceOracleHits.Set(st.OracleHits)
+	obs.ServiceOracleMisses.Set(st.OracleMisses)
+	obs.ServiceMemoized.Set(int64(st.MemoizedInstances))
+	obs.ServiceCachedResults.Set(int64(st.CachedResults))
+	obs.ServiceOnlineSessions.Set(int64(st.OnlineSessions))
 }
