@@ -5,8 +5,10 @@
 // §9: zero-allocation hot paths, epsilon-guarded float→int rounding,
 // context propagation, wire-protocol/doc coherence, Reset completeness,
 // package documentation, scratch-buffer ownership (scratchown), mutex
-// discipline on //sched:guardedby fields (lockguard), and goroutine
-// join paths (goroleak).
+// discipline on //sched:guardedby fields (lockguard), goroutine join
+// paths (goroleak), whole-module lock-ordering cycles (lockorder),
+// sync/atomic access consistency (atomicmix), and channel ownership
+// (chanrule).
 //
 // Usage:
 //

@@ -43,8 +43,15 @@ type Analyzer struct {
 	// Doc is a one-paragraph description: the invariant enforced and
 	// the bug class that motivated it.
 	Doc string
-	// Run applies the analyzer to one package.
+	// Run applies the analyzer to one package. Nil for analyzers that
+	// only work whole-module (RunModule).
 	Run func(*Pass) error
+	// RunModule, when non-nil, applies the analyzer once per
+	// invocation to every loaded package together — the hook for
+	// whole-repo properties (the lockorder graph, atomicmix's
+	// "atomic anywhere means atomic everywhere") that no single
+	// package can decide.
+	RunModule func(*ModulePass) error
 }
 
 // A Pass is one (analyzer, package) unit of work, mirroring
@@ -61,7 +68,28 @@ type Pass struct {
 	// ModRoot is the module root directory ("" when unknown).
 	ModRoot string
 
+	owner       *Package // loaded package behind this pass (CFG cache)
 	diagnostics *[]Diagnostic
+}
+
+// A ModulePass is one (analyzer, whole module) unit of work: every
+// loaded package at once, for the whole-repo analyzers.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diagnostics *[]Diagnostic
+}
+
+// Report records a finding at a precomputed position. Module passes
+// span file sets, so positions are resolved by the caller (each
+// Package carries its own Fset).
+func (p *ModulePass) Report(pos token.Position, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // A Diagnostic is one finding.

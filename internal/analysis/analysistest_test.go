@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var wantRe = regexp.MustCompile(`// want (.*)$`)
@@ -148,6 +149,18 @@ func TestGoroLeakCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{GoroLeak}, "goroleak", "corpus/internal/goroleak")
 }
 
+func TestLockOrderCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{LockOrder}, "lockorder", "corpus/internal/lockorder")
+}
+
+func TestAtomicMixCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{AtomicMix}, "atomicmix", "corpus/internal/atomicmix")
+}
+
+func TestChanRuleCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{ChanRule}, "chanrule", "corpus/internal/chanrule")
+}
+
 // TestIgnoreDirectives runs both fpconv and hotalloc so the
 // wrong-analyzer fixture exercises the unused-directive diagnostic: an
 // ignore only counts as stale when the analyzer it names actually ran
@@ -157,6 +170,16 @@ func TestIgnoreDirectives(t *testing.T) {
 	runCorpus(t, []*Analyzer{FPConv, HotAlloc}, "ignore", "corpus/internal/ignorecorpus")
 }
 
+// suiteAnalyzers is the full catalog the dogfood gate must run. A new
+// analyzer that is not added here (and to All()) is not enforced
+// anywhere; a removed one stops guarding its invariant silently. Both
+// drifts fail TestTreeClean.
+var suiteAnalyzers = []string{
+	"hotalloc", "fpconv", "ctxflow", "resetcheck", "wirecode",
+	"pkgdoc", "scratchown", "lockguard", "goroleak", "obsreg",
+	"lockorder", "atomicmix", "chanrule",
+}
+
 // TestTreeClean is the dogfood gate: the full schedlint suite must run
 // clean on the repository itself. CI runs the same check via
 // `go run ./cmd/schedlint ./...`; this test keeps `go test ./...`
@@ -164,6 +187,19 @@ func TestIgnoreDirectives(t *testing.T) {
 func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole repository")
+	}
+	all := All()
+	if len(all) != len(suiteAnalyzers) {
+		t.Fatalf("All() returns %d analyzers, want %d", len(all), len(suiteAnalyzers))
+	}
+	have := map[string]bool{}
+	for _, a := range all {
+		have[a.Name] = true
+	}
+	for _, name := range suiteAnalyzers {
+		if !have[name] {
+			t.Fatalf("analyzer %q missing from All(); the dogfood gate no longer enforces it", name)
+		}
 	}
 	pkgs := loadRepo(t)
 	diags, err := Run(pkgs, All())
@@ -178,6 +214,30 @@ func TestTreeClean(t *testing.T) {
 	}
 }
 
+// TestSuiteBudget bounds the analysis phase's wall clock: the full
+// 13-analyzer suite over the whole repository (loading excluded — that
+// is the toolchain's go list/typecheck cost, shared with any build)
+// must stay interactive. The PR 7 ten-analyzer baseline ran in ~0.15s
+// warm; the budget is deliberately loose for slow CI machines, and the
+// measured figure is logged so docs/PERFORMANCE.md can track the real
+// number.
+func TestSuiteBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository")
+	}
+	pkgs := loadRepo(t)
+	start := time.Now()
+	if _, err := Run(pkgs, All()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	const budget = 5 * time.Second
+	if elapsed > budget {
+		t.Errorf("analysis phase took %v, over the %v budget; an analyzer regressed from near-linear", elapsed, budget)
+	}
+	t.Logf("analysis phase: %v across %d packages (%d analyzers)", elapsed, len(pkgs), len(All()))
+}
+
 // TestMain keeps the corpus fixtures honest: every corpus directory
 // must be referenced by some test above (guards against orphaned
 // fixtures after a rename).
@@ -186,7 +246,8 @@ func TestCorpusDirsCovered(t *testing.T) {
 		"hotalloc": true, "fpconv": true, "ctxflow": true,
 		"resetcheck": true, "wirecode": true, "pkgdoc": true,
 		"ignore": true, "scratchown": true, "lockguard": true,
-		"goroleak": true, "obsreg": true,
+		"goroleak": true, "obsreg": true, "lockorder": true,
+		"atomicmix": true, "chanrule": true,
 	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {

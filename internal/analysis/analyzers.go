@@ -5,7 +5,8 @@ package analysis
 // metric catalog), then the semantic ones (context, FP safety,
 // hot-path allocations, scratch reuse), then the ownership and
 // concurrency family added in PR 7 (scratch escape, lock discipline,
-// goroutine joins).
+// goroutine joins), then the CFG-based whole-module family added in
+// PR 10 (lock ordering, atomic consistency, channel discipline).
 func All() []*Analyzer {
 	return []*Analyzer{
 		PkgDoc,
@@ -18,6 +19,9 @@ func All() []*Analyzer {
 		ScratchOwn,
 		LockGuard,
 		GoroLeak,
+		LockOrder,
+		AtomicMix,
+		ChanRule,
 	}
 }
 

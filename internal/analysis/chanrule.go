@@ -1,0 +1,479 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanRule enforces the channel ownership discipline the serving path
+// depends on: channels are closed by their sender, never after a
+// close, and never sent on (unbuffered) inside a guarded critical
+// section.
+//
+// Three rules, all per package:
+//
+//  1. Close-by-receiver: a function that receives from a channel and
+//     never sends on it must not close it. Only the sending side knows
+//     when no more sends are coming; a receiver-side close turns the
+//     next send into a panic.
+//  2. Send-after-close: within one function, a CFG dataflow tracks the
+//     channels possibly closed on some path to each point (union
+//     join); a send or second close of a possibly-closed channel is a
+//     run-time panic. Re-making the channel reopens it.
+//  3. Unbuffered send under a guard mutex: a send on a provably
+//     unbuffered channel (every make site in the package is
+//     capacity-less) while a //sched:guardedby mutex is held blocks
+//     every critical section of that mutex until a receiver arrives —
+//     a latency cliff at best, a deadlock if the receiver needs the
+//     same lock. Buffer the channel or send after Unlock.
+var ChanRule = &Analyzer{
+	Name: "chanrule",
+	Doc:  "close only by sender, no send/close after close on any path, no unbuffered send under a //sched:guardedby mutex",
+	Run:  runChanRule,
+}
+
+// chanUse aggregates a channel object's package-wide sites.
+type chanUse struct {
+	sendFns  map[*ast.FuncDecl]bool
+	recvFns  map[*ast.FuncDecl]bool
+	closes   []chanSite
+	makes    int // make sites seen
+	buffered bool
+}
+
+type chanSite struct {
+	fn   *ast.FuncDecl
+	pos  token.Pos
+	expr string
+}
+
+func runChanRule(pass *Pass) error {
+	uses := map[types.Object]*chanUse{}
+	closeFns := map[*ast.FuncDecl]bool{}  // funcs with ≥1 resolvable close
+	sendFnSet := map[*ast.FuncDecl]bool{} // funcs with ≥1 resolvable send
+	use := func(obj types.Object) *chanUse {
+		u := uses[obj]
+		if u == nil {
+			u = &chanUse{sendFns: map[*ast.FuncDecl]bool{}, recvFns: map[*ast.FuncDecl]bool{}}
+			uses[obj] = u
+		}
+		return u
+	}
+	recordMake := func(obj types.Object, call *ast.CallExpr) {
+		u := use(obj)
+		u.makes++
+		if len(call.Args) > 1 {
+			u.buffered = true
+		}
+	}
+
+	// Package-wide sweep: who sends, receives, closes, makes each
+	// channel object.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						if i >= len(vs.Values) {
+							break
+						}
+						if mk, isMake := makeChanCall(pass, vs.Values[i]); isMake {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								recordMake(obj, mk)
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				fn := decl
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SendStmt:
+						if obj := chanObj(pass, n.Chan); obj != nil {
+							use(obj).sendFns[fn] = true
+							sendFnSet[fn] = true
+						}
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW {
+							if obj := chanObj(pass, n.X); obj != nil {
+								use(obj).recvFns[fn] = true
+							}
+						}
+					case *ast.RangeStmt:
+						if t := pass.TypeOf(n.X); t != nil {
+							if _, isChan := t.Underlying().(*types.Chan); isChan {
+								if obj := chanObj(pass, n.X); obj != nil {
+									use(obj).recvFns[fn] = true
+								}
+							}
+						}
+					case *ast.CallExpr:
+						if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+							if obj := chanObj(pass, n.Args[0]); obj != nil {
+								use(obj).closes = append(use(obj).closes, chanSite{
+									fn: fn, pos: n.Pos(), expr: types.ExprString(ast.Unparen(n.Args[0])),
+								})
+								closeFns[fn] = true
+							}
+						}
+					case *ast.AssignStmt:
+						for i, lhs := range n.Lhs {
+							if i >= len(n.Rhs) {
+								break
+							}
+							mk, isMake := makeChanCall(pass, n.Rhs[i])
+							if !isMake {
+								continue
+							}
+							if obj := chanObj(pass, lhs); obj != nil {
+								recordMake(obj, mk)
+							}
+						}
+					case *ast.KeyValueExpr:
+						if mk, isMake := makeChanCall(pass, n.Value); isMake {
+							if key, ok := n.Key.(*ast.Ident); ok {
+								if obj := pass.ObjectOf(key); obj != nil && fieldObject(obj) {
+									recordMake(obj, mk)
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Rule 1: close in a receiving, never-sending function.
+	objs := make([]types.Object, 0, len(uses))
+	for obj := range uses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		u := uses[obj]
+		for _, cl := range u.closes {
+			if cl.fn != nil && u.recvFns[cl.fn] && !u.sendFns[cl.fn] {
+				pass.Report(cl.pos, "close of %s in a function that receives from it; only the sender knows when sends are done — close on the sending side", cl.expr)
+			}
+		}
+	}
+
+	// Rules 2 and 3: per-scope CFG dataflows.
+	guardNames := guardMutexNames(pass)
+	unbuffered := func(e ast.Expr) bool {
+		obj := chanObj(pass, e)
+		if obj == nil {
+			return false
+		}
+		u := uses[obj]
+		return u != nil && u.makes > 0 && !u.buffered
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The sweep already knows which functions touch channels
+			// at all; running a fixpoint over the (vast majority of)
+			// functions with no close or send would converge on the
+			// empty state and report nothing — skip them.
+			runClosed := closeFns[fd]
+			runGuarded := len(guardNames) > 0 && sendFnSet[fd]
+			if !runClosed && !runGuarded {
+				continue
+			}
+			for _, scope := range funcScopes(fd.Body) {
+				if runClosed {
+					flowClosed(pass, scope)
+				}
+				if runGuarded {
+					flowGuardedSends(pass, scope, guardNames, unbuffered)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// chanObj resolves a channel expression to its variable/field object.
+func chanObj(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(e.Sel)
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	}
+	return nil
+}
+
+// fieldObject reports whether obj is a struct field.
+func fieldObject(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+// makeChanCall recognizes make(chan T[, n]).
+func makeChanCall(pass *Pass, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, false
+	}
+	if b, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return nil, false
+	}
+	t := pass.TypeOf(call.Args[0])
+	if t == nil {
+		return nil, false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return call, isChan
+}
+
+// closedSet is the may-be-closed lattice: channel object → first close
+// position. Join is union (closed on some path is enough to panic).
+type closedSet map[types.Object]token.Pos
+
+func cloneClosed(s closedSet) closedSet {
+	out := make(closedSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// chanEvent is one close/send/remake in a CFG node, position-ordered.
+type chanEvent struct {
+	pos  token.Pos
+	obj  types.Object
+	expr string
+	kind int // ceClose, ceSend, ceRemake
+}
+
+const (
+	ceClose = iota
+	ceSend
+	ceRemake
+)
+
+// nodeChanEvents extracts the channel events of one CFG node. Any
+// assignment to a channel variable — including the per-iteration
+// rebinding of a range loop's Key/Value — is a rebind (ceRemake): the
+// variable no longer refers to the possibly-closed channel, so a close
+// in a `for _, ch := range chans` loop does not conflict with itself
+// across the back edge.
+func nodeChanEvents(pass *Pass, n ast.Node) []chanEvent {
+	var evs []chanEvent
+	rebind := func(e ast.Expr, pos token.Pos) {
+		if e == nil {
+			return
+		}
+		t := pass.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if obj := chanObj(pass, e); obj != nil {
+			evs = append(evs, chanEvent{pos: pos, obj: obj, kind: ceRemake})
+		}
+	}
+	if h, isHeader := n.(rangeHeader); isHeader {
+		rebind(h.Key, h.Pos())
+		rebind(h.Value, h.Pos())
+		return evs
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.SendStmt:
+			if obj := chanObj(pass, m.Chan); obj != nil {
+				evs = append(evs, chanEvent{pos: m.Arrow, obj: obj,
+					expr: types.ExprString(ast.Unparen(m.Chan)), kind: ceSend})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "close" && len(m.Args) == 1 {
+				if obj := chanObj(pass, m.Args[0]); obj != nil {
+					evs = append(evs, chanEvent{pos: m.Pos(), obj: obj,
+						expr: types.ExprString(ast.Unparen(m.Args[0])), kind: ceClose})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				rebind(lhs, m.Pos())
+			}
+		}
+		return true
+	})
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// flowClosed runs the may-be-closed dataflow over one scope and
+// reports sends and closes reachable after a close on some path.
+func flowClosed(pass *Pass, scope *ast.BlockStmt) {
+	evCache := map[ast.Node][]chanEvent{}
+	events := func(n ast.Node) []chanEvent {
+		evs, ok := evCache[n]
+		if !ok {
+			evs = nodeChanEvents(pass, n)
+			evCache[n] = evs
+		}
+		return evs
+	}
+	mk := func(onEv func(ev chanEvent, closed closedSet)) flowFuncs {
+		return flowFuncs{
+			entry: func() any { return closedSet{} },
+			clone: func(st any) any { return cloneClosed(st.(closedSet)) },
+			join: func(a, b any) any {
+				out := cloneClosed(a.(closedSet))
+				for k, v := range b.(closedSet) {
+					if _, ok := out[k]; !ok {
+						out[k] = v
+					}
+				}
+				return out
+			},
+			equal: func(a, b any) bool {
+				as, bs := a.(closedSet), b.(closedSet)
+				if len(as) != len(bs) {
+					return false
+				}
+				for k := range as {
+					if _, ok := bs[k]; !ok {
+						return false
+					}
+				}
+				return true
+			},
+			node: func(n ast.Node, st any) any {
+				closed := st.(closedSet)
+				for _, ev := range events(n) {
+					if onEv != nil {
+						onEv(ev, closed)
+					}
+					switch ev.kind {
+					case ceClose:
+						if _, ok := closed[ev.obj]; !ok {
+							closed[ev.obj] = ev.pos
+						}
+					case ceRemake:
+						delete(closed, ev.obj)
+					}
+				}
+				return closed
+			},
+			edge: func(e cfgEdge, st any) any { return st },
+		}
+	}
+	g := cfgOf(pass.owner, scope)
+	in := g.forward(mk(nil))
+	report := mk(func(ev chanEvent, closed closedSet) {
+		at, isClosed := closed[ev.obj]
+		if !isClosed {
+			return
+		}
+		where := shortPos(pass.Fset.Position(at))
+		switch ev.kind {
+		case ceSend:
+			pass.Report(ev.pos, "send on %s, which may already be closed (close at %s); send on a closed channel panics", ev.expr, where)
+		case ceClose:
+			pass.Report(ev.pos, "close of %s, which may already be closed (close at %s); double close panics", ev.expr, where)
+		}
+	})
+	for _, blk := range g.blocks {
+		st := in[blk.index]
+		if st == nil {
+			continue // unreachable
+		}
+		cur := any(cloneClosed(st.(closedSet)))
+		for _, n := range blk.nodes {
+			cur = report.node(n, cur)
+		}
+	}
+}
+
+// guardMutexNames collects the mutex field names referenced by any
+// //sched:guardedby directive in the package (without re-reporting
+// directive validation — lockguard owns that).
+func guardMutexNames(pass *Pass) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if name, _, ok := guardDirective(field); ok && validGuardField(pass, st, name) {
+					names[name] = true
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// flowGuardedSends runs the held-lock dataflow (shared with lockguard)
+// and reports unbuffered sends executed while a guard mutex is held.
+func flowGuardedSends(pass *Pass, scope *ast.BlockStmt, guardNames map[string]bool, unbuffered func(ast.Expr) bool) {
+	c := &lockCollector{pass: pass, scope: scope, guards: map[types.Object]string{},
+		fresh: freshLocals(pass, scope)}
+	g := cfgOf(pass.owner, scope)
+	ff := heldFlowFuncs(pass, c.nodeOps, nil)
+	in := g.forward(ff)
+	heldGuard := func(held heldSet) (string, bool) {
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dot := len(k)
+			for i := len(k) - 1; i >= 0; i-- {
+				if k[i] == '.' {
+					dot = i
+					break
+				}
+			}
+			if dot < len(k) && guardNames[k[dot+1:]] {
+				return k, true
+			}
+		}
+		return "", false
+	}
+	for _, blk := range g.blocks {
+		st := in[blk.index]
+		if st == nil {
+			continue
+		}
+		cur := any(st.(heldSet).clone())
+		for _, n := range blk.nodes {
+			if send, ok := n.(*ast.SendStmt); ok && unbuffered(send.Chan) {
+				if key, held := heldGuard(cur.(heldSet)); held {
+					pass.Report(send.Arrow, "unbuffered send on %s while holding %s (a //sched:guardedby mutex); the critical section blocks until a receiver is ready — buffer the channel or send after Unlock",
+						types.ExprString(ast.Unparen(send.Chan)), key)
+				}
+			}
+			cur = ff.node(n, cur)
+		}
+	}
+}

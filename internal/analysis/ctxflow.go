@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -21,8 +22,17 @@ import (
 //  2. context.Background() / context.TODO() are forbidden outside
 //     package main and test files: a library function that conjures
 //     its own root context detaches its callees from cancellation.
-//     The deprecated pre-Client shims keep their Background() calls
-//     under an inline //schedlint:ignore with the deprecation note.
+//     Two flow-aware exemptions replace the blanket ignores the rule
+//     used to need:
+//
+//     - Delegating shim: a function F without a ctx parameter whose
+//     body is exactly `return FCtx(context.Background(), args...)`
+//     — the Background call exists only to bridge the deprecated
+//     signature, and cancellation-wanting callers use FCtx.
+//     - Nil default: `ctx = context.Background()` dominated by an
+//     `if ctx == nil` check of the same ctx parameter — the
+//     documented nil-means-no-cancellation contract, not a dropped
+//     caller context.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "context must propagate: no dropped ctx when a Ctx variant exists, no context.Background/TODO in library code",
@@ -32,14 +42,16 @@ var CtxFlow = &Analyzer{
 func runCtxFlow(pass *Pass) error {
 	isMain := pass.Pkg.Name() == "main"
 	for _, f := range pass.Files {
-		// Rule 2: Background/TODO anywhere in a library file.
+		// Rule 2: Background/TODO anywhere in a library file, minus the
+		// delegating-shim and nil-default patterns.
 		if !isMain {
+			exempt := ctxRootExemptions(pass, f)
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				if name := ctxRootName(pass, call); name != "" {
+				if name := ctxRootName(pass, call); name != "" && !exempt[call] {
 					pass.Report(call.Pos(), "context.%s() in library code detaches callees from cancellation; accept and propagate a ctx instead", name)
 				}
 				return true
@@ -65,6 +77,103 @@ func runCtxFlow(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// ctxRootExemptions collects the Background/TODO calls in f that are
+// legitimate under rule 2's two flow-aware exemptions.
+func ctxRootExemptions(pass *Pass, f *ast.File) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if call := shimDelegation(pass, fn); call != nil {
+			exempt[call] = true
+		}
+		markNilDefaults(pass, fn.Body, exempt)
+	}
+	return exempt
+}
+
+// shimDelegation matches the deprecated-shim shape: F (no ctx param)
+// whose whole body is `return FCtx(context.Background(), args...)`
+// where FCtx is F's ctx-taking sibling. Returns the root-ctx call to
+// exempt, or nil.
+func shimDelegation(pass *Pass, fn *ast.FuncDecl) *ast.CallExpr {
+	if funcTakesCtx(pass, fn) || len(fn.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	root, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok || ctxRootName(pass, root) == "" {
+		return nil
+	}
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Name() != fn.Name.Name+"Ctx" {
+		return nil
+	}
+	if !signatureTakesCtx(callee.Type().(*types.Signature)) {
+		return nil
+	}
+	return root
+}
+
+// markNilDefaults exempts `ctx = context.Background()` (or TODO)
+// assignments dominated by an `if ctx == nil` check of the same
+// context-typed variable: the documented nil-means-no-cancellation
+// default, not a dropped context.
+func markNilDefaults(pass *Pass, body *ast.BlockStmt, exempt map[*ast.CallExpr]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		var guarded *ast.Ident
+		switch {
+		case isNilIdent(bin.Y):
+			guarded, _ = ast.Unparen(bin.X).(*ast.Ident)
+		case isNilIdent(bin.X):
+			guarded, _ = ast.Unparen(bin.Y).(*ast.Ident)
+		}
+		if guarded == nil || !isContextType(pass.TypeOf(guarded)) {
+			return true
+		}
+		obj := pass.ObjectOf(guarded)
+		if obj == nil {
+			return true
+		}
+		for _, s := range ifs.Body.List {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok || pass.ObjectOf(lhs) != obj {
+				continue
+			}
+			if root, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && ctxRootName(pass, root) != "" {
+				exempt[root] = true
+			}
+		}
+		return true
+	})
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // ctxRootName returns "Background"/"TODO" for calls to the context

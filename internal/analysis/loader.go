@@ -28,6 +28,8 @@ type Package struct {
 	Sources map[string][]byte // filename → source, for directive parsing
 	Types   *types.Package
 	Info    *types.Info
+
+	cfgs map[*ast.BlockStmt]*cfg // lazily built per function scope; see cfgOf
 }
 
 // listedPackage is the subset of `go list -json` output the loader

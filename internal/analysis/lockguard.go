@@ -21,16 +21,21 @@ import (
 // by convention today; -race only catches the schedules the tests
 // happen to race.
 //
-// The check is a per-scope simulation: within one function body (each
-// function literal is its own scope — a closure that touches guarded
-// state must lock for itself), Lock/RLock/Unlock/RUnlock calls and
-// field accesses are ordered by position and replayed. A deferred
-// Unlock leaves the lock held to the end of the scope. An access whose
-// base expression does not have the matching "<base>.<guard>" held is
-// a diagnostic; writes additionally require write-hold (RLock does not
-// license mutation). Accesses through a provably fresh local — one
-// only ever assigned from a composite literal, new, or their address —
-// are exempt: storage not yet shared needs no lock (constructors).
+// The check is a per-scope CFG dataflow (cfg.go): within one function
+// body (each function literal is its own scope — a closure that
+// touches guarded state must lock for itself), the held-lock set is
+// propagated over basic blocks to a fixpoint, joining by intersection
+// at merges, so branch-dependent unlocks (`if err != nil { mu.Unlock();
+// return }`) and loops are modeled precisely instead of by source
+// position. A branch on mu.TryLock()/TryRLock() holds the lock exactly
+// on the success edge. A deferred Unlock leaves the lock held to the
+// end of the scope, including defers registered inside loops. An
+// access whose base expression does not have the matching
+// "<base>.<guard>" held on every path reaching it is a diagnostic;
+// writes additionally require write-hold (RLock does not license
+// mutation). Accesses through a provably fresh local — one only ever
+// assigned from a composite literal, new, or their address — are
+// exempt: storage not yet shared needs no lock (constructors).
 //
 // The annotation itself is validated: naming a field that does not
 // exist in the struct, or one that is not a mutex, is a diagnostic.
@@ -174,49 +179,161 @@ const (
 )
 
 // checkLockScopes finds every scope (the given body plus each nested
-// function literal) and replays its lock events.
+// function literal) and runs the held-lock dataflow on its CFG.
 func checkLockScopes(pass *Pass, body *ast.BlockStmt, guards map[types.Object]string) {
-	var scopes []*ast.BlockStmt
-	scopes = append(scopes, body)
-	ast.Inspect(body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			scopes = append(scopes, lit.Body)
-		}
-		return true
-	})
-	for _, scope := range scopes {
-		replayScope(pass, scope, guards)
+	for _, scope := range funcScopes(body) {
+		flowScope(pass, scope, guards)
 	}
 }
 
-// replayScope collects the lock events and guarded accesses of one
-// scope (excluding nested literals), sorts them by position, and
-// simulates the held set.
-func replayScope(pass *Pass, scope *ast.BlockStmt, guards map[types.Object]string) {
-	c := &lockCollector{pass: pass, scope: scope, guards: guards,
-		fresh: freshLocals(pass, scope)}
-	c.walk(scope, false, false)
-	sort.Slice(c.ops, func(i, j int) bool { return c.ops[i].pos < c.ops[j].pos })
+// heldSet is the lock-state lattice value: lock key → 'r' or 'w'.
+// Join is key intersection, weakening 'w' to 'r' on mode disagreement
+// (a lock is only write-held after a merge if it is write-held on
+// every incoming path).
+type heldSet map[string]byte
 
-	held := map[string]byte{} // key → 'r' or 'w'
-	for _, op := range c.ops {
-		switch op.kind {
-		case opAcquire:
-			held[op.key] = op.mode
-		case opRelease:
-			delete(held, op.key)
-		case opAccess:
-			mode, ok := held[op.key]
-			switch {
-			case !ok:
-				pass.Report(op.pos, "%s %s without holding %s (//sched:guardedby %s)",
-					accessWord(op.mode), op.field, op.key, op.guard)
-			case op.mode == 'w' && mode == 'r':
-				pass.Report(op.pos, "write to %s while %s is only read-held (RLock); writes need Lock",
-					op.field, op.key)
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func joinHeld(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			if av == bv {
+				out[k] = av
+			} else {
+				out[k] = 'r'
 			}
 		}
 	}
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// heldFlowFuncs builds the lock-state dataflow client shared by
+// lockguard and chanrule: opsOf extracts the ordered lock events of a
+// node, and branch edges on TryLock/TryRLock acquire on the success
+// path. onOp (optional) observes every op with the state before it —
+// nil during fixpoint, set during the post-convergence report replay.
+func heldFlowFuncs(pass *Pass, opsOf func(ast.Node) []lockOp, onOp func(op lockOp, held heldSet)) flowFuncs {
+	apply := func(n ast.Node, st any) any {
+		held := st.(heldSet)
+		for _, op := range opsOf(n) {
+			if onOp != nil {
+				onOp(op, held)
+			}
+			switch op.kind {
+			case opAcquire:
+				held[op.key] = op.mode
+			case opRelease:
+				delete(held, op.key)
+			}
+		}
+		return held
+	}
+	return flowFuncs{
+		entry: func() any { return heldSet{} },
+		clone: func(st any) any { return st.(heldSet).clone() },
+		join:  func(a, b any) any { return joinHeld(a.(heldSet), b.(heldSet)) },
+		equal: func(a, b any) bool { return equalHeld(a.(heldSet), b.(heldSet)) },
+		node:  apply,
+		edge: func(e cfgEdge, st any) any {
+			held := st.(heldSet)
+			expr, val := condValue(e.cond, e.when)
+			if key, mode, ok := tryLockCall(pass, expr); ok && val {
+				held[key] = mode
+			}
+			return held
+		},
+	}
+}
+
+// tryLockCall recognizes X.TryLock()/X.TryRLock() on a mutex and
+// returns the lock key and granted mode.
+func tryLockCall(pass *Pass, expr ast.Expr) (key string, mode byte, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !isMutexType(pass.TypeOf(sel.X)) {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "TryLock":
+		return types.ExprString(ast.Unparen(sel.X)), 'w', true
+	case "TryRLock":
+		return types.ExprString(ast.Unparen(sel.X)), 'r', true
+	}
+	return "", 0, false
+}
+
+// flowScope runs the held-lock dataflow over one scope's CFG to a
+// fixpoint, then replays each reachable block once against its
+// converged in-state to report unguarded accesses.
+func flowScope(pass *Pass, scope *ast.BlockStmt, guards map[types.Object]string) {
+	c := &lockCollector{pass: pass, scope: scope, guards: guards,
+		fresh: freshLocals(pass, scope)}
+	g := cfgOf(pass.owner, scope)
+	in := g.forward(heldFlowFuncs(pass, c.nodeOps, nil))
+	ff := heldFlowFuncs(pass, c.nodeOps, func(op lockOp, held heldSet) {
+		if op.kind != opAccess {
+			return
+		}
+		mode, ok := held[op.key]
+		switch {
+		case !ok:
+			pass.Report(op.pos, "%s %s without holding %s (//sched:guardedby %s)",
+				accessWord(op.mode), op.field, op.key, op.guard)
+		case op.mode == 'w' && mode == 'r':
+			pass.Report(op.pos, "write to %s while %s is only read-held (RLock); writes need Lock",
+				op.field, op.key)
+		}
+	})
+	for _, blk := range g.blocks {
+		st := in[blk.index]
+		if st == nil {
+			continue // unreachable
+		}
+		cur := any(st.(heldSet).clone())
+		for _, n := range blk.nodes {
+			cur = ff.node(n, cur)
+		}
+	}
+}
+
+// nodeOps extracts the position-ordered lock events of one CFG node
+// (a simple statement or a branch-condition expression).
+func (c *lockCollector) nodeOps(n ast.Node) []lockOp {
+	c.ops = c.ops[:0]
+	switch n := n.(type) {
+	case rangeHeader:
+		c.walk(n.Key, true, false)
+		c.walk(n.Value, true, false)
+		c.walk(n.X, false, false)
+	case ast.Stmt:
+		c.walk(n, false, false)
+	case ast.Expr:
+		c.walk(n, false, false)
+	}
+	sort.Slice(c.ops, func(i, j int) bool { return c.ops[i].pos < c.ops[j].pos })
+	return c.ops
 }
 
 func accessWord(mode byte) string {

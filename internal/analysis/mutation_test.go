@@ -1,0 +1,153 @@
+package analysis
+
+// Mutation checks: the analyzers exist to catch concurrency regressions
+// in THIS repository, so each flagship rule is proven against the real
+// code it guards, not only against the golden corpora. Each test copies
+// a production package into a temp dir, verifies the unmutated copy is
+// clean, applies the exact single-site regression the analyzer was
+// built for, and asserts the diagnostic fires and names the offending
+// site. If an analyzer rots into a no-op, these fail before the bug
+// class it guards can land.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyPkgNonTest copies the non-test Go sources of srcDir into a fresh
+// temp dir, returning the copy's path.
+func copyPkgNonTest(t *testing.T, srcDir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatalf("no Go sources found in %s", srcDir)
+	}
+	return dst
+}
+
+// mutateFile applies a single textual mutation, insisting the anchor is
+// unique so the test fails loudly if the production code drifts.
+func mutateFile(t *testing.T, dir, file, anchor, replacement string) {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(src), anchor); n != 1 {
+		t.Fatalf("mutation anchor appears %d times in %s (want exactly 1); update the anchor to match the current source", n, file)
+	}
+	out := strings.Replace(string(src), anchor, replacement, 1)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runOnDir loads the package copy and runs one analyzer over it.
+func runOnDir(t *testing.T, dir, importPath string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadDir(".", dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+// TestMutationRouterLockOrder reverses the router's sanctioned fmu → mu
+// nesting at one site: adopt takes mu before fmu. Combined with
+// reassign's fmu → leastLoadedAlive → mu chain this is a textbook
+// cross-function deadlock, and lockorder must report the cycle (and the
+// self-deadlock through leastLoadedAlive) naming both mutexes.
+func TestMutationRouterLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks internal/netserve")
+	}
+	dir := copyPkgNonTest(t, filepath.Join("..", "netserve"))
+	if diags := runOnDir(t, dir, "mutation/netserve", LockOrder); len(diags) != 0 {
+		t.Fatalf("unmutated netserve copy not lockorder-clean: %v", diags)
+	}
+
+	mutateFile(t, dir, "router.go",
+		"func (r *Router) adopt(dead int) (int, bool) {\n\tr.fmu.Lock()\n\tdefer r.fmu.Unlock()\n",
+		"func (r *Router) adopt(dead int) (int, bool) {\n\tr.mu.Lock()\n\tdefer r.mu.Unlock()\n\tr.fmu.Lock()\n\tdefer r.fmu.Unlock()\n")
+
+	diags := runOnDir(t, dir, "mutation/netserve", LockOrder)
+	var cycle, self bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "lock-order cycle") &&
+			strings.Contains(d.Message, "netserve.Router.fmu") &&
+			strings.Contains(d.Message, "netserve.Router.mu") {
+			cycle = true
+		}
+		if strings.Contains(d.Message, "may acquire netserve.Router.mu, which is already held") {
+			self = true
+		}
+		if filepath.Base(d.Pos.Filename) != "router.go" {
+			t.Errorf("diagnostic outside router.go: %v", d)
+		}
+	}
+	if !cycle {
+		t.Errorf("swapped nesting in adopt produced no lock-order cycle diagnostic; got: %v", diags)
+	}
+	if !self {
+		t.Errorf("adopt holding mu while calling leastLoadedAlive produced no self-deadlock diagnostic; got: %v", diags)
+	}
+}
+
+// TestMutationObsAtomicMix downgrades the lock-free TraceRing.Recorded
+// from atomic.LoadUint64 to a plain read of n — a torn read on 32-bit
+// targets and a data race everywhere, invisible to tests that never
+// race the writer. atomicmix must flag the plain read and point at the
+// surviving atomic site.
+func TestMutationObsAtomicMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks internal/obs")
+	}
+	dir := copyPkgNonTest(t, filepath.Join("..", "obs"))
+	if diags := runOnDir(t, dir, "mutation/obs", AtomicMix); len(diags) != 0 {
+		t.Fatalf("unmutated obs copy not atomicmix-clean: %v", diags)
+	}
+
+	mutateFile(t, dir, "trace.go",
+		"func (r *TraceRing) Recorded() uint64 {\n\treturn atomic.LoadUint64(&r.n)\n}",
+		"func (r *TraceRing) Recorded() uint64 {\n\treturn r.n\n}")
+
+	diags := runOnDir(t, dir, "mutation/obs", AtomicMix)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "plain read of obs.TraceRing.n") &&
+			strings.Contains(d.Message, "atomic") {
+			found = true
+			if filepath.Base(d.Pos.Filename) != "trace.go" {
+				t.Errorf("diagnostic anchored outside trace.go: %v", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("plain read of TraceRing.n produced no atomicmix diagnostic; got: %v", diags)
+	}
+}

@@ -13,10 +13,15 @@ import (
 // (the first call always passes) and was the root cause of the stale
 // knapsack-pair carryover this PR fixes.
 //
-// The rule is purely structural: for each named struct type with a
-// Reset method declared in the same package, every slice, map, and
-// pointer field must be mentioned (as recv.field) somewhere in the
-// Reset body — truncated, nilled, reassigned, or handed to a helper.
+// The rule is flow-sensitive (PR 10): for each named struct type with
+// a Reset method declared in the same package, every slice, map, and
+// pointer field must be mentioned (as recv.field) on EVERY path from
+// entry to return — truncated, nilled, reassigned, read in a
+// condition, or handed to a helper. The must-touched set is propagated
+// over the CFG (cfg.go) with intersection at merges, so
+// `if cond { r.buf = nil }` no longer counts as clearing buf: the
+// !cond path returns with the stale slice, which is exactly the
+// carryover bug the structural version of this check missed.
 // Assigning the whole struct (*r = T{}) satisfies all fields at once.
 // Scalar, array, struct, func, chan, and interface fields are exempt:
 // they either cannot retain heap memory across calls or (func/chan/
@@ -110,38 +115,120 @@ func isRetentiveType(t ast.Expr) bool {
 	return false
 }
 
-// checkReset verifies fn mentions each retentive field of st.
-func checkReset(pass *Pass, fn *ast.FuncDecl, recvName, typeName string, st *ast.StructType) {
-	fields := retentiveFields(st)
-	if len(fields) == 0 {
-		return
+// touchSet is the must-touched lattice value: field names mentioned on
+// every path so far. The wholeStruct key "*" stands for *r = T{}.
+type touchSet map[string]bool
+
+const wholeStructKey = "*"
+
+func cloneTouch(s touchSet) touchSet {
+	out := make(touchSet, len(s))
+	for k := range s {
+		out[k] = true
 	}
-	touched := map[string]bool{}
-	wholeStruct := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && id.Name == recvName {
-				touched[n.Sel.Name] = true
-			}
-		case *ast.AssignStmt:
-			// *r = T{} resets everything at once.
-			for _, lhs := range n.Lhs {
-				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
-					if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && id.Name == recvName {
-						wholeStruct = true
+	return out
+}
+
+// nodeTouches collects the recv.field mentions and whole-struct
+// assignments of one CFG node. Function literals are included, as in
+// the structural version: handing the receiver to a closure counts.
+func nodeTouches(n ast.Node, recvName string) []string {
+	var out []string
+	walk := func(m ast.Node) {
+		ast.Inspect(m, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Name == recvName {
+					out = append(out, x.Sel.Name)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+						if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && id.Name == recvName {
+							out = append(out, wholeStructKey)
+						}
 					}
 				}
 			}
+			return true
+		})
+	}
+	switch n := n.(type) {
+	case rangeHeader:
+		if n.Key != nil {
+			walk(n.Key)
 		}
-		return true
+		if n.Value != nil {
+			walk(n.Value)
+		}
+		walk(n.X)
+	default:
+		walk(n)
+	}
+	return out
+}
+
+// checkReset verifies fn mentions each retentive field of st on every
+// path to return.
+func checkReset(pass *Pass, fn *ast.FuncDecl, recvName, typeName string, st *ast.StructType) {
+	fields := retentiveFields(st)
+	if len(fields) == 0 || recvName == "" {
+		return
+	}
+	g := cfgOf(pass.owner, fn.Body)
+	cache := map[ast.Node][]string{}
+	touches := func(n ast.Node) []string {
+		ts, ok := cache[n]
+		if !ok {
+			ts = nodeTouches(n, recvName)
+			cache[n] = ts
+		}
+		return ts
+	}
+	in := g.forward(flowFuncs{
+		entry: func() any { return touchSet{} },
+		clone: func(s any) any { return cloneTouch(s.(touchSet)) },
+		join: func(a, b any) any {
+			out := touchSet{}
+			for k := range a.(touchSet) {
+				if b.(touchSet)[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		equal: func(a, b any) bool {
+			as, bs := a.(touchSet), b.(touchSet)
+			if len(as) != len(bs) {
+				return false
+			}
+			for k := range as {
+				if !bs[k] {
+					return false
+				}
+			}
+			return true
+		},
+		node: func(n ast.Node, s any) any {
+			ts := s.(touchSet)
+			for _, name := range touches(n) {
+				ts[name] = true
+			}
+			return ts
+		},
+		edge: func(e cfgEdge, s any) any { return s },
 	})
-	if wholeStruct {
+	exitState := in[g.exit.index]
+	if exitState == nil {
+		return // no path reaches return (e.g. infinite serve loop)
+	}
+	atExit := exitState.(touchSet)
+	if atExit[wholeStructKey] {
 		return
 	}
 	for _, f := range fields {
-		if !touched[f.Name] {
-			pass.Report(fn.Pos(), "Reset on %s does not touch field %q (%s retains memory across reuse); truncate, nil, or justify", typeName, f.Name, retentiveKind(fieldType(st, f.Name)))
+		if !atExit[f.Name] {
+			pass.Report(fn.Pos(), "Reset on %s does not touch field %q on every path (%s retains memory across reuse); truncate, nil, or justify", typeName, f.Name, retentiveKind(fieldType(st, f.Name)))
 		}
 	}
 }

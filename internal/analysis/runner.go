@@ -3,6 +3,8 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"runtime"
+	"sync"
 )
 
 // Run applies every analyzer to every package and returns the
@@ -10,37 +12,84 @@ import (
 // directive, plus a diagnostic for every malformed or unused ignore
 // (a suppression must both parse and suppress something, so stale
 // annotations surface instead of rotting).
+//
+// The per-package phase fans out across GOMAXPROCS workers — one
+// worker owns one package end to end, so per-package state (the CFG
+// cache, the diagnostics slice) is single-threaded and the shared
+// inputs (FileSet, go/types results) are only read. Module-scope
+// analyzers (RunModule) need every package at once and run after the
+// fan-in, sequentially. Diagnostics are merged in package order, so
+// output is deterministic regardless of worker scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	type pkgResult struct {
+		diags   []Diagnostic
+		ignores []*ignoreDirective
+		err     error
+	}
+	results := make([]pkgResult, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(res *pkgResult, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, f := range pkg.Files {
+				name := pkg.Fset.Position(f.Pos()).Filename
+				igs := parseIgnores(pkg.Fset, f, pkg.Sources[name], func(pos token.Pos, msg string) {
+					res.diags = append(res.diags, Diagnostic{
+						Pos:      pkg.Fset.Position(pos),
+						Analyzer: "schedlint",
+						Message:  msg,
+					})
+				})
+				res.ignores = append(res.ignores, igs...)
+			}
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue // module-only analyzer
+				}
+				pass := &Pass{
+					Analyzer:    a,
+					Fset:        pkg.Fset,
+					Files:       pkg.Files,
+					Pkg:         pkg.Types,
+					TypesInfo:   pkg.Info,
+					Dir:         pkg.Dir,
+					ModRoot:     pkg.ModRoot,
+					owner:       pkg,
+					diagnostics: &res.diags,
+				}
+				if err := a.Run(pass); err != nil {
+					res.err = fmt.Errorf("schedlint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+					return
+				}
+			}
+		}(&results[i], pkg)
+	}
+	wg.Wait()
+
 	var diags []Diagnostic
 	ignoresByFile := map[string][]*ignoreDirective{}
 	var allIgnores []*ignoreDirective
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			igs := parseIgnores(pkg.Fset, f, pkg.Sources[name], func(pos token.Pos, msg string) {
-				diags = append(diags, Diagnostic{
-					Pos:      pkg.Fset.Position(pos),
-					Analyzer: "schedlint",
-					Message:  msg,
-				})
-			})
-			ignoresByFile[name] = append(ignoresByFile[name], igs...)
-			allIgnores = append(allIgnores, igs...)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:    a,
-				Fset:        pkg.Fset,
-				Files:       pkg.Files,
-				Pkg:         pkg.Types,
-				TypesInfo:   pkg.Info,
-				Dir:         pkg.Dir,
-				ModRoot:     pkg.ModRoot,
-				diagnostics: &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("schedlint: %s on %s: %v", a.Name, pkg.PkgPath, err)
-			}
+		diags = append(diags, results[i].diags...)
+		for _, ig := range results[i].ignores {
+			ignoresByFile[ig.file] = append(ignoresByFile[ig.file], ig)
+			allIgnores = append(allIgnores, ig)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, diagnostics: &diags}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("schedlint: %s (module): %v", a.Name, err)
 		}
 	}
 	out := filterSuppressed(diags, ignoresByFile)

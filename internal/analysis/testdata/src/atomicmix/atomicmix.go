@@ -1,0 +1,101 @@
+// Package atomicmix is the golden corpus for the atomicmix analyzer:
+// mixed atomic/plain access to the same field or package variable, the
+// fresh-local constructor exemption, atomic.Value store-type
+// consistency, and by-value copies of typed atomics.
+package atomicmix
+
+import "sync/atomic"
+
+// --- mixed access on a struct field ---
+
+type hits struct {
+	n     uint64
+	other int
+}
+
+func (h *hits) inc() {
+	atomic.AddUint64(&h.n, 1)
+}
+
+func (h *hits) load() uint64 {
+	return atomic.LoadUint64(&h.n)
+}
+
+func (h *hits) plainRead() uint64 {
+	return h.n // want "plain read of atomicmix\\.hits\\.n, which is accessed via atomic\\.AddUint64"
+}
+
+func (h *hits) plainWrite() {
+	h.n = 0 // want "plain write of atomicmix\\.hits\\.n"
+}
+
+// newHits touches the field through a provably fresh local: storage
+// not yet shared cannot race.
+func newHits() *hits {
+	h := &hits{}
+	h.n = 1
+	return h
+}
+
+// other is never accessed atomically; plain access is fine.
+func (h *hits) touchOther() {
+	h.other++
+}
+
+// --- mixed access on a package variable ---
+
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func readTotal() uint64 {
+	return total // want "plain read of atomicmix\\.total"
+}
+
+// --- atomic.Value store-type consistency ---
+
+type box struct {
+	v atomic.Value
+}
+
+func (b *box) putString(s string) {
+	b.v.Store(s)
+}
+
+func (b *box) putInt(i int) {
+	b.v.Store(i) // want "stores int here but string at .*; atomic\\.Value requires one consistent concrete type"
+}
+
+type consistent struct {
+	v atomic.Value
+}
+
+func (c *consistent) put(s string)  { c.v.Store(s) }
+func (c *consistent) swap(s string) { c.v.Swap(s) }
+
+// --- by-value copies of typed atomics ---
+
+type gauge struct {
+	val atomic.Int64
+}
+
+func sinkGauge(v atomic.Int64) int64 { return v.Load() }
+
+func copyGauge(g *gauge) {
+	c := g.val // want "assignment copies sync/atomic\\.Int64 value"
+	_ = c.Load()
+	_ = sinkGauge(g.val) // want "passing sync/atomic\\.Int64 by value copies it"
+}
+
+func sumGauges(gs []atomic.Int64) int64 {
+	var t int64
+	for _, g := range gs { // want "range copies sync/atomic\\.Int64 values"
+		t += g.Load()
+	}
+	for i := range gs {
+		t += gs[i].Load()
+	}
+	return t
+}

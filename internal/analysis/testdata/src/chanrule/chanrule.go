@@ -1,0 +1,128 @@
+// Package chanrule is the golden corpus for the chanrule analyzer:
+// close-by-receiver, send/close after a close on some path, channel
+// re-make reopening, and unbuffered sends inside a //sched:guardedby
+// critical section.
+package chanrule
+
+import "sync"
+
+// --- close-by-receiver ---
+
+type worker struct {
+	out chan int
+}
+
+// produce sends and closes: the sender side owns the close.
+func (w *worker) produce(n int) {
+	for i := 0; i < n; i++ {
+		w.out <- i
+	}
+	close(w.out)
+}
+
+type drainer struct {
+	in chan int
+}
+
+// drain only receives; closing here panics the next sender.
+func (d *drainer) drain() int {
+	t := 0
+	for v := range d.in {
+		t += v
+	}
+	close(d.in) // want "close of d\\.in in a function that receives from it"
+	return t
+}
+
+// closeOnly is the done-channel broadcast idiom: close without any
+// receive in the closing function is fine.
+type lifecycle struct {
+	done chan struct{}
+}
+
+func (l *lifecycle) stop() {
+	close(l.done)
+}
+
+func (l *lifecycle) wait() {
+	<-l.done
+}
+
+// --- send/close after close on some path ---
+
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want "send on ch, which may already be closed"
+}
+
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want "close of ch, which may already be closed"
+}
+
+// branchClose closes on one path only; the merge point still may-sees
+// the close.
+func branchClose(ch chan int, done bool) {
+	if done {
+		close(ch)
+	}
+	ch <- 1 // want "send on ch, which may already be closed \\(close at chanrule\\.go:\\d+\\)"
+}
+
+// remake reopens: a fresh channel value is not the closed one.
+func remake(ch chan int) chan int {
+	close(ch)
+	ch = make(chan int, 4)
+	ch <- 1
+	return ch
+}
+
+// sendThenClose is the normal shutdown order.
+func sendThenClose(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// --- unbuffered send under a guard mutex ---
+
+type notifier struct {
+	mu    sync.Mutex
+	state int //sched:guardedby mu
+	wake  chan struct{}
+	buf   chan struct{}
+}
+
+func newNotifier() *notifier {
+	return &notifier{
+		wake: make(chan struct{}),
+		buf:  make(chan struct{}, 1),
+	}
+}
+
+// bump blocks every other critical section of mu until a receiver
+// arrives at wake.
+func (n *notifier) bump() {
+	n.mu.Lock()
+	n.state++
+	n.wake <- struct{}{} // want "unbuffered send on n\\.wake while holding n\\.mu"
+	n.mu.Unlock()
+}
+
+// bumpBuffered: capacity-1 channel absorbs the send without blocking.
+func (n *notifier) bumpBuffered() {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	select {
+	case n.buf <- struct{}{}:
+	default:
+	}
+}
+
+// bumpAfterUnlock: unbuffered send outside the critical section.
+func (n *notifier) bumpAfterUnlock() {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	n.wake <- struct{}{}
+}

@@ -44,3 +44,55 @@ func okNoSibling(ctx context.Context) int {
 func okNoCtxParam() int {
 	return work() // caller has no ctx to drop
 }
+
+// --- flow-aware exemptions for rule 2 ---
+
+func solve(ctx context.Context, n int) int { _ = ctx; return n }
+
+func solveCtx(ctx context.Context, n int) int { _ = ctx; return n }
+
+// okShim is the deprecated-shim shape: the whole body delegates to the
+// Ctx sibling with a bridging Background.
+func okShim(n int) int {
+	return okShimCtx(context.Background(), n)
+}
+
+func okShimCtx(ctx context.Context, n int) int { _ = ctx; return n }
+
+// badNotSibling delegates, but not to its own Ctx variant — the
+// Background still detaches the callee.
+func badNotSibling(n int) int {
+	return solveCtx(context.Background(), n) // want "context.Background\\(\\) in library code"
+}
+
+// badShimExtra does more than delegate; the bridge exemption does not
+// apply.
+func badShimExtra(n int) int {
+	n++
+	return badShimExtraCtx(context.Background(), n) // want "context.Background\\(\\) in library code"
+}
+
+func badShimExtraCtx(ctx context.Context, n int) int { _ = ctx; return n }
+
+// okNilDefault: the documented nil-means-no-cancellation contract.
+func okNilDefault(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return solve(ctx, n)
+}
+
+// okNilDefaultFlipped: nil on the left works too.
+func okNilDefaultFlipped(ctx context.Context, n int) int {
+	if nil == ctx {
+		ctx = context.TODO()
+	}
+	return solve(ctx, n)
+}
+
+// badUnguardedDefault overwrites the caller's context without a nil
+// check: that is a dropped context, not a default.
+func badUnguardedDefault(ctx context.Context, n int) int {
+	ctx = context.Background() // want "context.Background\\(\\) in library code"
+	return solve(ctx, n)
+}

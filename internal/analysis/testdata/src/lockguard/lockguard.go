@@ -88,6 +88,78 @@ func (t *table) writeUnderRLock(k int) {
 	t.mu.RUnlock()
 }
 
+// --- CFG precision: branch-dependent unlocks, TryLock, defer-in-loop ---
+
+// branchUnlock releases on the error path only; the fall-through
+// access is still covered (the old position-ordered replay could not
+// tell the two paths apart).
+func (c *counter) branchUnlock(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return -1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// mergeUnlocked: one path releases before the merge point, so the
+// access after the join is not protected on every path.
+func (c *counter) mergeUnlocked(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+	}
+	v := c.n // want "read of c.n without holding c.mu"
+	if !fail {
+		c.mu.Unlock()
+	}
+	return v
+}
+
+// tryLock holds the mutex exactly on the TryLock success edge.
+func (c *counter) tryLock() int {
+	if !c.mu.TryLock() {
+		return -1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) tryLockFailurePath() int {
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+// deferInLoop: a defer registered inside a loop still runs at function
+// exit, so the lock stays held for the rest of the scope.
+func (c *counter) deferInLoop(keys []int) int {
+	total := 0
+	for range keys {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		total += c.n
+	}
+	return total
+}
+
+// loopLocal: acquisition and release balanced inside one iteration —
+// held at the access, not held across the back edge.
+func (c *counter) loopLocal(rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	total += c.n // want "read of c.n without holding c.mu"
+	return total
+}
+
 // --- directive validation ---
 
 type badGuard struct {

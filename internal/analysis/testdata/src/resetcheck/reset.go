@@ -56,3 +56,58 @@ func truncate(s []int) []int { return s[:0] }
 func (d *delegating) Reset() {
 	d.buf = truncate(d.buf)
 }
+
+// --- flow sensitivity: a touch must happen on every path ---
+
+type branchy struct {
+	buf   []int
+	spill []int
+}
+
+// Conditional clearing leaves spill stale on the !cond path.
+func (b *branchy) Reset() { // want "does not touch field \"spill\" on every path"
+	b.buf = b.buf[:0]
+	if len(b.buf) == 0 {
+		b.spill = nil
+	}
+}
+
+type bothArms struct {
+	buf []int
+}
+
+// Touched in both arms of the branch: covered on every path.
+func (b *bothArms) Reset() {
+	if cap(b.buf) > 1024 {
+		b.buf = nil
+	} else {
+		b.buf = b.buf[:0]
+	}
+}
+
+type guarded struct {
+	buf  []int
+	free []int
+}
+
+// An early return must also have touched every field by then; reading
+// a field in the guard condition counts as accounting for it.
+func (g *guarded) Reset() { // want "does not touch field \"free\" on every path"
+	if g.buf == nil {
+		return
+	}
+	g.buf = g.buf[:0]
+	g.free = g.free[:0]
+}
+
+type loopClear struct {
+	m map[int][]int
+}
+
+// A touch inside a range body reaches the exit through the zero-trip
+// path only via the header's mention of the receiver field.
+func (l *loopClear) Reset() {
+	for k := range l.m {
+		delete(l.m, k)
+	}
+}

@@ -21,7 +21,7 @@ type BatchResult struct {
 // ScheduleMany schedules independent instances on a sharded work-queue
 // pool; it is ScheduleManyCtx with a background context.
 func ScheduleMany(ins []*moldable.Instance, opt Options, workers int) []BatchResult {
-	return ScheduleManyCtx(context.Background(), ins, opt, workers) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleManyCtx(context.Background(), ins, opt, workers)
 }
 
 // ScheduleManyCtx schedules independent instances on a sharded
@@ -72,7 +72,7 @@ func ScheduleManyCtx(ctx context.Context, ins []*moldable.Instance, opt Options,
 // failure by index order (all instances are still visited). workers ≤ 0
 // selects GOMAXPROCS, as in ScheduleManyCtx.
 func ValidateMany(ins []*moldable.Instance, maxProbes, workers int) error {
-	return ValidateManyCtx(context.Background(), ins, maxProbes, workers) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ValidateManyCtx(context.Background(), ins, maxProbes, workers)
 }
 
 // ValidateManyCtx is ValidateMany under a context: a cancel mid-batch

@@ -128,7 +128,7 @@ type Report struct {
 // Schedule solves the instance with the selected algorithm; it is
 // ScheduleCtx with a background context.
 func Schedule(in *moldable.Instance, opt Options) (*schedule.Schedule, *Report, error) {
-	return ScheduleCtx(context.Background(), in, opt) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleCtx(context.Background(), in, opt)
 }
 
 // Scratch aggregates the reusable buffers of every algorithm a

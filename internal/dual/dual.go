@@ -57,7 +57,7 @@ var ErrNoSchedule = errors.New("dual: algorithm rejected d ≥ OPT; dual guarant
 // Search runs the binary search without cancellation; it is
 // SearchCtx with a background context.
 func Search(algo Algorithm, omega moldable.Time, eps float64) (*schedule.Schedule, Report, error) {
-	return SearchCtx(context.Background(), algo, omega, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return SearchCtx(context.Background(), algo, omega, eps)
 }
 
 // SearchCtx runs the binary search. omega must satisfy ω ≤ OPT ≤ 2ω.

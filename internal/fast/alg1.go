@@ -131,7 +131,7 @@ func tryCompressibleShelf1(in *moldable.Instance, d moldable.Time, rho float64,
 // ScheduleAlg1 runs the complete (3/2+eps)-approximation around Alg1,
 // splitting eps between the dual factor and the binary-search slack.
 func ScheduleAlg1(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleAlg1Ctx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleAlg1Ctx(context.Background(), in, eps)
 }
 
 // ScheduleAlg1Ctx is ScheduleAlg1 with cancellation, checked between

@@ -254,7 +254,7 @@ func upIdx(g []float64, v float64) int {
 // ScheduleAlg3 runs the full (3/2+eps)-approximation around Alg3 (heap
 // transformation rules, §4.3).
 func ScheduleAlg3(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleAlg3Ctx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleAlg3Ctx(context.Background(), in, eps)
 }
 
 // ScheduleAlg3Ctx is ScheduleAlg3 with cancellation, checked between
@@ -265,7 +265,7 @@ func ScheduleAlg3Ctx(ctx context.Context, in *moldable.Instance, eps float64) (*
 
 // ScheduleLinear runs the §4.3.3 linear-time variant (bucketed rules).
 func ScheduleLinear(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleLinearCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleLinearCtx(context.Background(), in, eps)
 }
 
 // ScheduleLinearCtx is ScheduleLinear with cancellation, checked

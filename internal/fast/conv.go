@@ -203,7 +203,7 @@ func (a *convWide) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // Conv duals, splitting eps between the dual factor and the search
 // slack.
 func ScheduleConv(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleConvCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleConvCtx(context.Background(), in, eps)
 }
 
 // ScheduleConvCtx is ScheduleConv with cancellation, checked between

@@ -104,7 +104,7 @@ func MinM(n int, eps float64) int {
 // algorithms in that regime; see §3.2 and DESIGN.md §3 on the
 // Jansen–Thöle substitution).
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleCtx(context.Background(), in, eps)
 }
 
 // ScheduleCtx is Schedule with cancellation, checked between dual

@@ -118,7 +118,7 @@ func CheckMonotone(j Job, m, maxProbes int) error {
 // Validate checks the instance: m ≥ 1, at least one job, and every job
 // monotone (probed as in CheckMonotone with the given probe budget).
 func (in *Instance) Validate(maxProbes int) error {
-	return in.ValidateCtx(context.Background(), maxProbes) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return in.ValidateCtx(context.Background(), maxProbes)
 }
 
 // ValidateCtx is Validate with cancellation: the context is checked

@@ -94,7 +94,7 @@ func (a *Dual) Try(d moldable.Time) (*schedule.Schedule, bool) {
 // Schedule runs the full (3/2+eps)-approximation: Ludwig–Tiwari
 // estimation plus the dual binary search with slack eps.
 func Schedule(in *moldable.Instance, eps float64) (*schedule.Schedule, dual.Report, error) {
-	return ScheduleCtx(context.Background(), in, eps) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return ScheduleCtx(context.Background(), in, eps)
 }
 
 // ScheduleCtx is Schedule with cancellation, checked between dual

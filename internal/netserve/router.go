@@ -46,19 +46,37 @@ type RouterConfig struct {
 // dual probe (every submission's context is merged with its shard's
 // lifetime), collected tickets report ErrUnavailable, ops on its
 // online sessions report ErrUnavailable, and NEW submissions fail over
-// to the next alive shard (affinity is lost; service continues). The
-// dead shard's worker pool is not closed until Close — closing it
-// while the serve loops still route would turn a chaos event into a
-// process panic.
+// stickily (see below; service continues). The dead shard's worker
+// pool is not closed until Close — closing it while the serve loops
+// still route would turn a chaos event into a process panic.
+//
+// Failover is sticky: the first submission that finds its hash-affine
+// shard dead adopts the least-loaded alive shard (by live-route count)
+// as that dead shard's stand-in, and every later submission with the
+// same affinity follows it. Without stickiness, each post-kill
+// submission would ring-scan independently, scattering a dead shard's
+// key space across the fleet and cold-starting the result cache and
+// memo registry everywhere; with it, the re-warmed caches concentrate
+// on one adoptive shard. Kill eagerly (re)assigns stand-ins so the
+// first post-kill submission doesn't pay the scan.
+//
+// Lock order: fmu → mu, always. adopt and reassign hold fmu (the
+// failover table's lock) while calling leastLoadedAlive, which takes
+// mu for the route counts; no path acquires fmu while holding mu.
+// schedlint's lockorder analyzer enforces exactly this.
 type Router struct {
 	shards []*shard
 	seed   maphash.Seed
 	nextID atomic.Uint64
 	opens  atomic.Uint64 // round-robin cursor (online opens, unhashable instances)
 
-	mu     sync.Mutex
-	routes map[uint64]route //sched:guardedby mu
-	fifo   []uint64         //sched:guardedby mu — insertion order, for routeCap eviction
+	mu       sync.Mutex
+	routes   map[uint64]route //sched:guardedby mu
+	fifo     []uint64         //sched:guardedby mu — insertion order, for routeCap eviction
+	perShard []int            //sched:guardedby mu — live routes per shard (failover load signal)
+
+	fmu      sync.Mutex
+	failover map[int]int //sched:guardedby fmu — dead shard → adopted alive stand-in
 }
 
 // shard is one backend scheduler plus its lifetime: ctx is canceled by
@@ -90,9 +108,11 @@ func NewRouter(ctx context.Context, cfg RouterConfig) *Router {
 		n = 1
 	}
 	r := &Router{
-		shards: make([]*shard, n),
-		seed:   maphash.MakeSeed(),
-		routes: make(map[uint64]route),
+		shards:   make([]*shard, n),
+		seed:     maphash.MakeSeed(),
+		routes:   make(map[uint64]route),
+		perShard: make([]int, n),
+		failover: make(map[int]int),
 	}
 	for i := range r.shards {
 		sctx, kill := context.WithCancel(ctx)
@@ -127,7 +147,64 @@ func (r *Router) Kill(i int) {
 	sh := r.shards[i]
 	if sh.dead.CompareAndSwap(false, true) {
 		sh.kill()
+		r.reassign(i)
 	}
+}
+
+// reassign eagerly repoints the failover table after shard dead died:
+// dead itself, and any previously-adopted shard whose stand-in just
+// died, get the current least-loaded alive shard. Takes fmu, then mu
+// inside leastLoadedAlive — the one sanctioned nesting order.
+func (r *Router) reassign(dead int) {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	t, ok := r.leastLoadedAlive()
+	if !ok {
+		clear(r.failover) // everyone is dead; pick reports unavailable
+		return
+	}
+	r.failover[dead] = t
+	for d, old := range r.failover {
+		if old == dead || r.shards[old].dead.Load() {
+			r.failover[d] = t
+		}
+	}
+}
+
+// adopt resolves the sticky stand-in for a dead hash-affine shard,
+// electing the least-loaded alive shard on first use (or when the
+// recorded stand-in has itself died). ok=false means no shard is
+// alive.
+func (r *Router) adopt(dead int) (int, bool) {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if t, ok := r.failover[dead]; ok && !r.shards[t].dead.Load() {
+		return t, true
+	}
+	t, ok := r.leastLoadedAlive()
+	if !ok {
+		return 0, false
+	}
+	r.failover[dead] = t
+	return t, true
+}
+
+// leastLoadedAlive returns the alive shard with the fewest live
+// routes. Callers may hold fmu; this takes mu, so the global
+// acquisition order is fmu → mu and never the reverse.
+func (r *Router) leastLoadedAlive() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best, bestLoad, ok := 0, 0, false
+	for j := range r.shards {
+		if r.shards[j].dead.Load() {
+			continue
+		}
+		if !ok || r.perShard[j] < bestLoad {
+			best, bestLoad, ok = j, r.perShard[j], true
+		}
+	}
+	return best, ok
 }
 
 // Close cancels and stops every shard. Call only after all serve
@@ -139,32 +216,45 @@ func (r *Router) Close() {
 	}
 }
 
-// pick selects the shard for an instance: hash-affine when canonical,
-// round-robin otherwise, failing over past dead shards. ok=false means
-// every shard is dead.
+// pick selects the shard for an instance: hash-affine when canonical
+// (following the sticky failover table when the affine shard is dead),
+// round-robin past dead shards otherwise. ok=false means every shard
+// is dead.
 func (r *Router) pick(in *moldable.Instance) (int, bool) {
 	n := len(r.shards)
 	i := r.ShardOf(in)
 	if i < 0 {
+		// Unhashable: no affinity to preserve, any alive shard does.
 		i = int(r.opens.Add(1) % uint64(n))
-	}
-	for off := 0; off < n; off++ {
-		j := (i + off) % n
-		if !r.shards[j].dead.Load() {
-			return j, true
+		for off := 0; off < n; off++ {
+			j := (i + off) % n
+			if !r.shards[j].dead.Load() {
+				return j, true
+			}
 		}
+		return 0, false
 	}
-	return 0, false
+	if !r.shards[i].dead.Load() {
+		return i, true
+	}
+	return r.adopt(i)
 }
 
 // storeRoute registers a global ticket, evicting the oldest routes
-// beyond routeCap.
+// beyond routeCap. Live (non-terminal) routes count toward their
+// shard's failover load signal.
 func (r *Router) storeRoute(gid uint64, rt route) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.routes[gid] = rt
+	if rt.err == nil {
+		r.perShard[rt.shard]++
+	}
 	r.fifo = append(r.fifo, gid)
 	for len(r.fifo) > routeCap {
+		if old, ok := r.routes[r.fifo[0]]; ok && old.err == nil {
+			r.perShard[old.shard]--
+		}
 		delete(r.routes, r.fifo[0])
 		r.fifo = r.fifo[1:]
 	}
@@ -180,6 +270,9 @@ func (r *Router) loadRoute(gid uint64) (route, bool) {
 func (r *Router) deleteRoute(gid uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if rt, ok := r.routes[gid]; ok && rt.err == nil {
+		r.perShard[rt.shard]--
+	}
 	delete(r.routes, gid)
 }
 

@@ -58,13 +58,19 @@ func SetTraceSampling(k int64) int64 { return sampleEvery.Swap(k) }
 
 // TraceRing is a fixed-capacity decision-trace ring buffer with one
 // writer (the scratch-owning worker) and any number of snapshotting
-// readers. buf and n are guarded by mu, but the writer uses TryLock —
-// see Record — so the lock is never a hot-path wait.
+// readers. buf is guarded by mu, but the writer uses TryLock — see
+// Record — so the lock is never a hot-path wait. The lifetime count n
+// is read with sync/atomic functions so Recorded never touches mu at
+// all: a stats poller calling Recorded in a loop must not widen the
+// writer's TryLock-failure window. Every access to n is atomic —
+// mixing one plain fast-path read in would be a torn read on 32-bit
+// targets and a data race everywhere; schedlint's atomicmix analyzer
+// enforces the all-or-nothing rule.
 type TraceRing struct {
 	mu     sync.Mutex
-	source string // layer tag stamped on events; SetSource before first Record
-	buf    [RingCap]TraceEvent
-	n      uint64 // total events written; buf[i%RingCap] holds event i
+	source string              // layer tag stamped on events; SetSource before first Record
+	buf    [RingCap]TraceEvent //sched:guardedby mu
+	n      uint64              // total events written (atomic); buf[i%RingCap] holds event i
 
 	seq     atomic.Uint64 // sampling counter (pre-admission)
 	dropped atomic.Int64  // samples lost to TryLock contention
@@ -123,17 +129,20 @@ func (r *TraceRing) Record(e TraceEvent) {
 		return
 	}
 	e.Source = r.source
-	r.buf[r.n%RingCap] = e
-	r.n++
+	n := atomic.LoadUint64(&r.n)
+	r.buf[n%RingCap] = e
+	// mu is held, so the writer is exclusive: load+store (rather than
+	// a CAS loop) is enough. The atomic store publishes the new count
+	// to lock-free Recorded readers.
+	atomic.StoreUint64(&r.n, n+1)
 	r.mu.Unlock()
 }
 
 // Recorded returns how many events have been written over the ring's
-// lifetime (wraparound included).
+// lifetime (wraparound included). Lock-free: polling Recorded must not
+// steal the writer's TryLock window.
 func (r *TraceRing) Recorded() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.n
+	return atomic.LoadUint64(&r.n)
 }
 
 // Dropped returns how many samples this ring lost to reader
@@ -145,11 +154,12 @@ func (r *TraceRing) Dropped() int64 { return r.dropped.Load() }
 func (r *TraceRing) Snapshot(dst []TraceEvent) []TraceEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	n := atomic.LoadUint64(&r.n)
 	start := uint64(0)
-	if r.n > RingCap {
-		start = r.n - RingCap
+	if n > RingCap {
+		start = n - RingCap
 	}
-	for i := start; i < r.n; i++ {
+	for i := start; i < n; i++ {
 		dst = append(dst, r.buf[i%RingCap])
 	}
 	return dst

@@ -151,7 +151,7 @@ func (p *Pool) Drain() {
 // fn. A nil ctx means no cancellation (context.Background()).
 func (p *Pool) Batch(ctx context.Context, n int, key func(i int) uint64, fn func(i int)) error {
 	if ctx == nil {
-		ctx = context.Background() //schedlint:ignore ctxflow documented nil-ctx default: Run's contract says nil means no cancellation
+		ctx = context.Background()
 	}
 	done := ctx.Done()
 	var wg sync.WaitGroup

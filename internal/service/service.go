@@ -167,7 +167,7 @@ func (s *Scheduler) Close() { s.pool.Close() }
 // therefore don't leak; callers that collect always see their result
 // if they stay within TicketCap of the completion front.
 func (s *Scheduler) Submit(in *moldable.Instance, opt core.Options) uint64 {
-	return s.SubmitCtx(context.Background(), in, opt) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return s.SubmitCtx(context.Background(), in, opt)
 }
 
 // SubmitCtx is Submit with a per-submission context: the deadline or
@@ -401,7 +401,7 @@ func (s *Scheduler) DoCtx(ctx context.Context, in *moldable.Instance, opt core.O
 // It is the service-grade sibling of core.ScheduleMany: same fan-out,
 // plus dedup, result caching, and shared oracle memos.
 func (s *Scheduler) DoBatch(ins []*moldable.Instance, opt core.Options) []Result {
-	return s.DoBatchCtx(context.Background(), ins, opt) //schedlint:ignore ctxflow deprecated non-ctx shim kept for API compatibility; callers wanting cancellation use the Ctx variant
+	return s.DoBatchCtx(context.Background(), ins, opt)
 }
 
 // DoBatchCtx is DoBatch under one shared context: a cancel or deadline
